@@ -1,0 +1,33 @@
+//! Ablation: pattern-table initialization.
+//!
+//! The paper initializes all pattern-history automata to the
+//! strongly-taken state and all history registers to ones, "since taken
+//! branches are more likely" (§4.2). This bench compares that choice
+//! against strongly-not-taken initialization.
+//!
+//! Run with `cargo bench --bench ablate_init`.
+
+use tlat_core::TwoLevelConfig;
+use tlat_sim::SchemeConfig;
+
+fn main() {
+    let harness = tlat_bench::harness("ablate_init");
+    let paper = TwoLevelConfig::paper_default();
+    let configs = vec![
+        SchemeConfig::TwoLevel(paper),
+        SchemeConfig::TwoLevel(TwoLevelConfig {
+            init_not_taken: true,
+            ..paper
+        }),
+    ];
+    let mut report = harness.accuracy_table(
+        "Ablation: pattern-table initialization (biased-taken vs not-taken)",
+        &configs,
+    );
+    report.push_note(
+        "rows are identical configurations except for initialization; \
+         the first row is the paper's biased-taken choice"
+            .to_owned(),
+    );
+    println!("{report}");
+}

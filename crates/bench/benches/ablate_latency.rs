@@ -1,0 +1,35 @@
+//! Ablation: the §3.2 prediction-latency optimization.
+//!
+//! To avoid two sequential table lookups per prediction, the paper
+//! stores a precomputed prediction bit in each HRT entry at update
+//! time. The cached bit can go slightly stale when other branches
+//! update the shared pattern-table entry in between; this bench
+//! measures that accuracy cost against the pure two-lookup scheme.
+//!
+//! Run with `cargo bench --bench ablate_latency`.
+
+use tlat_core::TwoLevelConfig;
+use tlat_sim::SchemeConfig;
+
+fn main() {
+    let harness = tlat_bench::harness("ablate_latency");
+    let paper = TwoLevelConfig::paper_default();
+    let configs = vec![
+        SchemeConfig::TwoLevel(paper), // cached prediction bit (§3.2)
+        SchemeConfig::TwoLevel(TwoLevelConfig {
+            cached_prediction: false,
+            ..paper
+        }),
+    ];
+    let mut report = harness.accuracy_table(
+        "Ablation: cached prediction bit (§3.2) vs pure two-lookup prediction",
+        &configs,
+    );
+    report.push_note(
+        "the cached bit makes prediction a single HRT access; any \
+         accuracy difference is the staleness cost of not re-reading \
+         the pattern table"
+            .to_owned(),
+    );
+    println!("{report}");
+}

@@ -1,0 +1,16 @@
+//! Extension bench: the pipeline-flush cost model — the paper's
+//! motivation ("a prediction miss requires flushing of the speculative
+//! execution") made quantitative as CPI per scheme.
+//!
+//! Run with `cargo bench --bench ext_cost`.
+
+use tlat_sim::PipelineModel;
+
+fn main() {
+    let harness = tlat_bench::harness("ext_cost");
+    println!("{}", harness.performance_table(PipelineModel::deep()));
+    println!(
+        "{}",
+        harness.performance_table(PipelineModel::superscalar())
+    );
+}

@@ -1,0 +1,9 @@
+//! Extension bench: the two-level predictor taxonomy (GAg, GAs, PAg,
+//! PAs) compared at matched cost on the nine-benchmark suite.
+//!
+//! Run with `cargo bench --bench ext_taxonomy`.
+
+fn main() {
+    let harness = tlat_bench::harness("ext_taxonomy");
+    println!("{}", harness.taxonomy());
+}

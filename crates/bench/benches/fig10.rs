@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10. Run with `cargo bench --bench fig10`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig10");
+    println!("{}", harness.figure10());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3. Run with `cargo bench --bench fig3`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig3");
+    println!("{}", harness.figure3());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4. Run with `cargo bench --bench fig4`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig4");
+    println!("{}", harness.figure4());
+}

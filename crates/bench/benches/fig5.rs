@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5. Run with `cargo bench --bench fig5`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig5");
+    println!("{}", harness.figure5());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6. Run with `cargo bench --bench fig6`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig6");
+    println!("{}", harness.figure6());
+}

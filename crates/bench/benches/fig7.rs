@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7. Run with `cargo bench --bench fig7`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig7");
+    println!("{}", harness.figure7());
+}

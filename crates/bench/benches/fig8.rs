@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8. Run with `cargo bench --bench fig8`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig8");
+    println!("{}", harness.figure8());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9. Run with `cargo bench --bench fig9`.
+
+fn main() {
+    let harness = tlat_bench::harness("fig9");
+    println!("{}", harness.figure9());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1. Run with `cargo bench --bench table1`.
+
+fn main() {
+    let harness = tlat_bench::harness("table1");
+    println!("{}", harness.table1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2. Run with `cargo bench --bench table2`.
+
+fn main() {
+    let harness = tlat_bench::harness("table2");
+    println!("{}", harness.table2());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3. Run with `cargo bench --bench table3`.
+
+fn main() {
+    let harness = tlat_bench::harness("table3");
+    println!("{}", harness.table3());
+}

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks: raw predict+update throughput of every
+//! scheme.
+//!
+//! Run with `cargo bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tlat_core::{
+    AlwaysTaken, AutomatonKind, Btfn, Gshare, GshareConfig, HrtConfig, LeeSmithBtb, LeeSmithConfig,
+    Predictor, ProfilePredictor, StaticTraining, StaticTrainingConfig, Tournament,
+    TwoLevelAdaptive, TwoLevelConfig, TwoLevelVariant, VariantConfig,
+};
+use tlat_trace::Trace;
+use tlat_workloads::SyntheticStream;
+
+fn stream(n: u64) -> Trace {
+    SyntheticStream::mixed(0xbeef, 64).generate(n)
+}
+
+fn drive(p: &mut dyn Predictor, trace: &Trace) -> u64 {
+    let mut correct = 0;
+    for b in trace.iter() {
+        correct += (p.predict(b) == b.taken) as u64;
+        p.update(b);
+    }
+    correct
+}
+
+fn predictor_throughput(c: &mut Criterion) {
+    let trace = stream(10_000);
+    let mut group = c.benchmark_group("predict_update");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("AT_AHRT512_12_A2", |b| {
+        let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("AT_IHRT_12_A2", |b| {
+        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+            hrt: HrtConfig::Ideal,
+            ..TwoLevelConfig::paper_default()
+        });
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("AT_HHRT512_12_A2", |b| {
+        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+            hrt: HrtConfig::hhrt(512),
+            ..TwoLevelConfig::paper_default()
+        });
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("AT_pure_two_lookup", |b| {
+        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+            cached_prediction: false,
+            ..TwoLevelConfig::paper_default()
+        });
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("LS_AHRT512_A2", |b| {
+        let mut p = LeeSmithBtb::new(LeeSmithConfig::paper_default());
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("LS_AHRT512_LT", |b| {
+        let mut p = LeeSmithBtb::new(LeeSmithConfig {
+            automaton: AutomatonKind::LastTime,
+            ..LeeSmithConfig::paper_default()
+        });
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("ST_AHRT512_12", |b| {
+        let mut p = StaticTraining::train(StaticTrainingConfig::paper_default(), &trace);
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("Profile", |b| {
+        let mut p = ProfilePredictor::train(&trace);
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("GAg_12_A2", |b| {
+        let mut p = TwoLevelVariant::new(VariantConfig::gag(12, AutomatonKind::A2));
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("gshare_12_A2", |b| {
+        let mut p = Gshare::new(GshareConfig::default_12bit());
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("tournament_AT_gshare", |b| {
+        let mut p = Tournament::new(
+            Box::new(TwoLevelAdaptive::new(TwoLevelConfig::paper_default())),
+            Box::new(Gshare::new(GshareConfig::default_12bit())),
+            1024,
+        );
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("BTFN", |b| {
+        let mut p = Btfn;
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.bench_function("AlwaysTaken", |b| {
+        let mut p = AlwaysTaken;
+        b.iter(|| black_box(drive(&mut p, &trace)));
+    });
+    group.finish();
+}
+
+fn training_cost(c: &mut Criterion) {
+    let trace = stream(10_000);
+    let mut group = c.benchmark_group("training");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("StaticTraining_profile_pass", |b| {
+        b.iter(|| {
+            black_box(StaticTraining::train(
+                StaticTrainingConfig::paper_default(),
+                &trace,
+            ))
+        });
+    });
+    group.bench_function("Profile_train", |b| {
+        b.iter(|| black_box(ProfilePredictor::train(&trace)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput, training_cost);
+criterion_main!(benches);

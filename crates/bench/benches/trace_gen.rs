@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: workload trace-generation (interpreter)
+//! throughput and trace serialization.
+//!
+//! Run with `cargo bench --bench trace_gen`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tlat_trace::codec;
+use tlat_workloads::by_name;
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    let budget = 20_000u64;
+    group.throughput(Throughput::Elements(budget));
+    for name in ["eqntott", "gcc", "matrix300", "li"] {
+        let workload = by_name(name).unwrap();
+        // Build once outside the timing loop: generation cost is
+        // dominated by interpretation, which is what we measure.
+        let loaded = workload.build(workload.test_input());
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tlat_workloads::run_trace(&loaded, budget).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let workload = by_name("espresso").unwrap();
+    let trace = workload.trace_test(50_000).unwrap();
+    let encoded = codec::encode(&trace);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(codec::encode(&trace)));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(codec::decode(&encoded).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, interpreter_throughput, codec_throughput);
+criterion_main!(benches);

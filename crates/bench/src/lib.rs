@@ -1,0 +1,31 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Each `cargo bench` target in this crate regenerates one table or
+//! figure of the paper (printed as a paper-vs-measured report), runs an
+//! ablation, or measures raw predictor throughput with Criterion. The
+//! per-benchmark conditional-branch budget is controlled by the
+//! `TLAT_BRANCH_LIMIT` environment variable (default 500 000; the paper
+//! used 20 000 000).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tlat_sim::Harness;
+
+/// Builds the experiment harness with the environment-configured
+/// budget and announces the run parameters.
+pub fn harness(target: &str) -> Harness {
+    let harness = Harness::from_env();
+    println!(
+        "[{target}] simulating up to {} conditional branches per benchmark \
+         (override with TLAT_BRANCH_LIMIT)",
+        harness.store().budget()
+    );
+    harness
+}
+
+/// `true` when invoked by `cargo bench` as a test pass (`--test`); the
+/// figure benches print reports only on the real bench pass.
+pub fn is_test_pass() -> bool {
+    std::env::args().any(|a| a == "--test")
+}

@@ -1,0 +1,292 @@
+//! `tlat` — command-line driver for the Two-Level Adaptive Training
+//! reproduction.
+//!
+//! ```text
+//! tlat table 1|2|3          regenerate a paper table
+//! tlat fig 3|4|5|...|10     regenerate a paper figure
+//! tlat all                  regenerate everything
+//! tlat stats                per-benchmark trace statistics
+//! tlat run <config-index>   simulate one Table 2 configuration
+//! tlat list                 list Table 2 configurations with indices
+//! ```
+//!
+//! The conditional-branch budget per benchmark defaults to 500 000 and
+//! can be overridden with the `TLAT_BRANCH_LIMIT` environment variable.
+
+use std::process::ExitCode;
+use tlat_sim::{table2, Harness, PipelineModel};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tlat <command>\n\
+         commands:\n\
+         \u{20}  table <1|2|3>     regenerate a paper table\n\
+         \u{20}  fig <3..10>       regenerate a paper figure\n\
+         \u{20}  all               regenerate every table and figure\n\
+         \u{20}  stats             per-benchmark trace statistics\n\
+         \u{20}  list              list Table 2 configurations\n\
+         \u{20}  run <index>       simulate one Table 2 configuration\n\
+         \u{20}  diagnose <bench> [i]  worst sites for a scheme\n\
+         \u{20}  taxonomy          GAg/GAs/PAg/PAs extension comparison\n\
+         \u{20}  cost              pipeline CPI under the flush model\n\
+         \u{20}  dump <bench> <file>  write a trace in codec format\n\
+         \u{20}  simulate <file> [i]  run a config over a trace file\n\
+         \u{20}  warmup <bench> [i]   windowed accuracy curve\n\
+         \u{20}  report            full experiment log as markdown\n\
+         environment: TLAT_BRANCH_LIMIT (default 500000)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let harness = Harness::from_env();
+    match args.first().map(String::as_str) {
+        Some("table") => match args.get(1).map(String::as_str) {
+            Some("1") => println!("{}", harness.table1()),
+            Some("2") => println!("{}", harness.table2()),
+            Some("3") => println!("{}", harness.table3()),
+            _ => return usage(),
+        },
+        Some("fig") => match args.get(1).map(String::as_str) {
+            Some("3") => println!("{}", harness.figure3()),
+            Some("4") => println!("{}", harness.figure4()),
+            Some("5") => println!("{}", harness.figure5()),
+            Some("6") => println!("{}", harness.figure6()),
+            Some("7") => println!("{}", harness.figure7()),
+            Some("8") => println!("{}", harness.figure8()),
+            Some("9") => println!("{}", harness.figure9()),
+            Some("10") => println!("{}", harness.figure10()),
+            _ => return usage(),
+        },
+        Some("all") => {
+            println!("{}", harness.table1());
+            println!("{}", harness.table2());
+            println!("{}", harness.table3());
+            println!("{}", harness.figure3());
+            println!("{}", harness.figure4());
+            println!("{}", harness.figure5());
+            println!("{}", harness.figure6());
+            println!("{}", harness.figure7());
+            println!("{}", harness.figure8());
+            println!("{}", harness.figure9());
+            println!("{}", harness.figure10());
+        }
+        Some("stats") => {
+            harness.prewarm();
+            for w in harness.workloads() {
+                let trace = harness.store().test(w);
+                let stats = trace.stats();
+                println!(
+                    "{:<12} dyn-cond {:>9}  static-cond {:>6}  taken {:>6.2}%  branch-frac {:>6.2}%",
+                    w.name,
+                    stats.dynamic_conditional_branches,
+                    stats.static_conditional_branches,
+                    stats.taken_rate * 100.0,
+                    stats.branch_fraction() * 100.0,
+                );
+            }
+        }
+        Some("list") => {
+            for (i, config) in table2().iter().enumerate() {
+                println!("{i:>3}  {}", config.label());
+            }
+        }
+        Some("run") => {
+            let Some(index) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
+                return usage();
+            };
+            let configs = table2();
+            let Some(config) = configs.get(index) else {
+                eprintln!("index out of range; `tlat list` shows valid indices");
+                return ExitCode::FAILURE;
+            };
+            println!(
+                "{}",
+                harness.accuracy_table(&config.label(), std::slice::from_ref(config))
+            );
+        }
+        Some("diagnose") => {
+            let Some(bench) = args.get(1) else {
+                return usage();
+            };
+            let Some(workload) = tlat_workloads::by_name(bench) else {
+                eprintln!(
+                    "unknown benchmark `{bench}`; the suite: {:?}",
+                    tlat_workloads::all()
+                        .iter()
+                        .map(|w| w.name)
+                        .collect::<Vec<_>>()
+                );
+                return ExitCode::FAILURE;
+            };
+            let index = args
+                .get(2)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(1); // AT(AHRT(512,12SR),PT(2^12,A2)) by default
+            let configs = table2();
+            let Some(config) = configs.get(index) else {
+                eprintln!("index out of range; `tlat list` shows valid indices");
+                return ExitCode::FAILURE;
+            };
+            let trace = harness.store().test(&workload);
+            let training = harness.store().train(&workload);
+            let training = if config.needs_training() {
+                if config.wants_diff_training() {
+                    match &training {
+                        Some(t) => Some(t.as_ref()),
+                        None => {
+                            eprintln!("{bench} has no Diff training set");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    Some(trace.as_ref())
+                }
+            } else {
+                None
+            };
+            let mut predictor = config.build(training);
+            println!("{} on {}:", config.label(), bench);
+            println!(
+                "{}",
+                tlat_sim::worst_sites_report(predictor.as_mut(), &trace, 20)
+            );
+        }
+        Some("taxonomy") => println!("{}", harness.taxonomy()),
+        Some("cost") => {
+            println!("{}", harness.performance_table(PipelineModel::deep()));
+            println!(
+                "{}",
+                harness.performance_table(PipelineModel::superscalar())
+            );
+        }
+        Some("report") => {
+            // Full experiment log as markdown (EXPERIMENTS.md shape).
+            println!("# Regenerated experiment report\n");
+            println!(
+                "Budget: {} conditional branches per benchmark.\n",
+                harness.store().budget()
+            );
+            println!("{}", harness.table1().to_markdown());
+            println!("{}", harness.figure3().to_markdown());
+            println!("{}", harness.figure4().to_markdown());
+            println!("{}", harness.figure5().to_markdown());
+            println!("{}", harness.figure6().to_markdown());
+            println!("{}", harness.figure7().to_markdown());
+            println!("{}", harness.figure8().to_markdown());
+            println!("{}", harness.figure9().to_markdown());
+            println!("{}", harness.figure10().to_markdown());
+            println!("{}", harness.taxonomy().to_markdown());
+        }
+        Some("simulate") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Binary format starts with the magic; anything else is
+            // tried as the text format.
+            let trace = if bytes.starts_with(b"TLA1") {
+                tlat_trace::codec::decode(&bytes)
+            } else {
+                match std::str::from_utf8(&bytes) {
+                    Ok(text) => tlat_trace::codec::decode_text(text),
+                    Err(_) => {
+                        eprintln!("{path} is neither a binary nor a text trace");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let trace = match trace {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot decode {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let index = args
+                .get(2)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(1);
+            let configs = table2();
+            let Some(config) = configs.get(index) else {
+                eprintln!("index out of range; `tlat list` shows valid indices");
+                return ExitCode::FAILURE;
+            };
+            // External traces have no training twin: trained schemes
+            // profile the trace itself (Same semantics).
+            let mut predictor = config.build(config.needs_training().then_some(&trace));
+            let result = tlat_sim::simulate(predictor.as_mut(), &trace);
+            println!(
+                "{} on {path} ({} conditional branches):",
+                config.label(),
+                result.conditional.predicted
+            );
+            println!(
+                "  accuracy {:.2} %   miss rate {:.2} %   RAS accuracy {:.2} %",
+                result.accuracy() * 100.0,
+                result.conditional.miss_rate() * 100.0,
+                result.ras.accuracy() * 100.0
+            );
+        }
+        Some("warmup") => {
+            let Some(bench) = args.get(1) else {
+                return usage();
+            };
+            let Some(workload) = tlat_workloads::by_name(bench) else {
+                eprintln!("unknown benchmark `{bench}`");
+                return ExitCode::FAILURE;
+            };
+            let index = args
+                .get(2)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(1);
+            let configs = table2();
+            let Some(config) = configs.get(index) else {
+                eprintln!("index out of range; `tlat list` shows valid indices");
+                return ExitCode::FAILURE;
+            };
+            let trace = harness.store().test(&workload);
+            let training = config.needs_training().then(|| trace.as_ref());
+            let mut predictor = config.build(training);
+            let window = (trace.conditional_len() / 20).max(1);
+            let curve = tlat_sim::windowed_accuracy(predictor.as_mut(), &trace, window);
+            println!(
+                "{} on {bench}, windows of {window} conditional branches:",
+                config.label()
+            );
+            for (i, acc) in curve.iter().enumerate() {
+                let bar = "#".repeat(((acc - 0.5).max(0.0) * 100.0) as usize);
+                println!("  window {i:>3}  {:>6.2} %  {bar}", acc * 100.0);
+            }
+        }
+        Some("dump") => {
+            let (Some(bench), Some(path)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(workload) = tlat_workloads::by_name(bench) else {
+                eprintln!("unknown benchmark `{bench}`");
+                return ExitCode::FAILURE;
+            };
+            let trace = harness.store().test(&workload);
+            let bytes = tlat_trace::codec::encode(&trace);
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} branches ({} bytes) to {path}",
+                trace.len(),
+                bytes.len()
+            );
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

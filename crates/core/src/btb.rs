@@ -1,0 +1,126 @@
+//! Branch target buffer (target-address prediction).
+//!
+//! Direction prediction is only half of next-address prediction: §1 of
+//! the paper notes conditional branches must also have "the target
+//! address ... calculated before the target instruction can be
+//! fetched", immediate unconditionals have decode-time targets, and
+//! register unconditionals "have to wait for the register value". A
+//! branch target buffer caches the last observed target per branch so
+//! the fetch unit can redirect immediately — the structure Lee & Smith
+//! built their design study around.
+
+use crate::hrt::{AnyHrt, HistoryTable, HrtConfig, HrtStats};
+use tlat_trace::BranchRecord;
+
+/// A branch target buffer: branch address → last taken target.
+///
+/// # Examples
+///
+/// ```
+/// use tlat_core::{HrtConfig, TargetBuffer};
+/// use tlat_trace::BranchRecord;
+///
+/// let mut btb = TargetBuffer::new(HrtConfig::ahrt(512));
+/// let b = BranchRecord::conditional(0x1000, 0x2000, true);
+/// assert_eq!(btb.predict_target(b.pc), None); // cold
+/// btb.update(&b);
+/// assert_eq!(btb.predict_target(b.pc), Some(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetBuffer {
+    table: AnyHrt<u32>,
+    config: HrtConfig,
+}
+
+impl TargetBuffer {
+    /// Creates a buffer with the given organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid table geometry.
+    pub fn new(config: HrtConfig) -> Self {
+        TargetBuffer {
+            // Pre-warmed entries hold target 0, treated as "no
+            // prediction" (no real branch targets address 0).
+            table: AnyHrt::build(config, 0),
+            config,
+        }
+    }
+
+    /// The buffer's organization.
+    pub fn config(&self) -> HrtConfig {
+        self.config
+    }
+
+    /// The predicted target for a branch, or `None` when the buffer has
+    /// no (valid) entry.
+    pub fn predict_target(&mut self, pc: u32) -> Option<u32> {
+        match self.table.peek(pc) {
+            Some(&mut 0) | None => None,
+            Some(&mut target) => Some(target),
+        }
+    }
+
+    /// Records the observed target of a taken branch (not-taken
+    /// branches leave the buffer unchanged, as hardware does).
+    pub fn update(&mut self, branch: &BranchRecord) {
+        if !branch.taken {
+            return;
+        }
+        let (entry, _) = self.table.get_or_allocate(branch.pc, || 0);
+        *entry = branch.target;
+    }
+
+    /// Access statistics of the underlying table.
+    pub fn stats(&self) -> HrtStats {
+        self.table.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_buffer_predicts_nothing() {
+        let mut btb = TargetBuffer::new(HrtConfig::ahrt(512));
+        assert_eq!(btb.predict_target(0x1000), None);
+    }
+
+    #[test]
+    fn remembers_last_taken_target() {
+        let mut btb = TargetBuffer::new(HrtConfig::Ideal);
+        btb.update(&BranchRecord::conditional(0x1000, 0x2000, true));
+        assert_eq!(btb.predict_target(0x1000), Some(0x2000));
+        // A not-taken execution does not disturb the entry.
+        btb.update(&BranchRecord::conditional(0x1000, 0x2000, false));
+        assert_eq!(btb.predict_target(0x1000), Some(0x2000));
+        // A taken execution with a new target (indirect branch)
+        // replaces it.
+        btb.update(&BranchRecord::unconditional_reg(0x1000, 0x3000));
+        assert_eq!(btb.predict_target(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn capacity_pressure_evicts() {
+        let mut btb = TargetBuffer::new(HrtConfig::ahrt(8));
+        // Fill one set far beyond associativity (set count 2, pcs with
+        // even pc>>2 all land in set 0).
+        for i in 0..16u32 {
+            btb.update(&BranchRecord::unconditional_imm(0x1000 + i * 8, 0x4000 + i));
+        }
+        let resident = (0..16u32)
+            .filter(|i| btb.predict_target(0x1000 + i * 8).is_some())
+            .count();
+        assert!(resident < 16, "some entries must have been evicted");
+    }
+
+    #[test]
+    fn distinct_branches_do_not_collide_in_ideal() {
+        let mut btb = TargetBuffer::new(HrtConfig::Ideal);
+        btb.update(&BranchRecord::unconditional_imm(0x1000, 0xa0));
+        btb.update(&BranchRecord::unconditional_imm(0x1004, 0xb0));
+        assert_eq!(btb.predict_target(0x1000), Some(0xa0));
+        assert_eq!(btb.predict_target(0x1004), Some(0xb0));
+    }
+}

@@ -1,0 +1,567 @@
+//! History-register-table implementations (§3.1 of the paper).
+//!
+//! Real hardware cannot afford one history register per static branch,
+//! so the paper proposes two practical organizations and an ideal
+//! reference:
+//!
+//! * **IHRT** — the ideal table: one entry per static branch, unbounded.
+//!   Shows the accuracy attainable with no history interference.
+//! * **AHRT** — a set-associative cache with LRU replacement and tags.
+//!   On a miss a new entry is allocated; per §4.2, the *contents* of a
+//!   re-allocated entry are **not** re-initialized (the new branch
+//!   inherits the evicted branch's history).
+//! * **HHRT** — a tagless hash table. Different branches that hash to
+//!   the same slot share one entry, so history interference is higher,
+//!   but the tag store is saved.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Access statistics for a history-register table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HrtStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that did not find the branch (IHRT/AHRT only; a tagless
+    /// HHRT cannot observe misses).
+    pub misses: u64,
+}
+
+impl HrtStats {
+    /// Hit ratio, 1.0 when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// How a per-address history table is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HrtConfig {
+    /// Ideal: one entry per static branch (unbounded).
+    Ideal,
+    /// Set-associative cache with LRU replacement.
+    Associative {
+        /// Total entries (e.g. 512). Must be a multiple of `ways`, with
+        /// the set count a power of two.
+        entries: usize,
+        /// Associativity (the paper uses 4).
+        ways: usize,
+    },
+    /// Tagless hash table.
+    Hashed {
+        /// Total entries; must be a power of two.
+        entries: usize,
+    },
+}
+
+impl HrtConfig {
+    /// The paper's standard AHRT: `entries`-entry, 4-way.
+    pub fn ahrt(entries: usize) -> Self {
+        HrtConfig::Associative { entries, ways: 4 }
+    }
+
+    /// The paper's standard HHRT.
+    pub fn hhrt(entries: usize) -> Self {
+        HrtConfig::Hashed { entries }
+    }
+
+    /// The paper's name fragment for this organization, e.g.
+    /// `AHRT(512` / `HHRT(256` / `IHRT(`.
+    pub fn label(&self) -> String {
+        match self {
+            HrtConfig::Ideal => "IHRT".to_owned(),
+            HrtConfig::Associative { entries, .. } => format!("AHRT({entries})"),
+            HrtConfig::Hashed { entries } => format!("HHRT({entries})"),
+        }
+    }
+}
+
+impl fmt::Display for HrtConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A per-address table mapping branch addresses to entries of type `E`.
+///
+/// All three organizations implement this trait; predictors are written
+/// against it.
+pub trait HistoryTable<E> {
+    /// Looks up `pc`, allocating (or re-using a victim) on miss.
+    /// Returns the entry and whether the lookup hit.
+    ///
+    /// `init` produces the contents for a *freshly created* entry; a
+    /// victim entry's contents persist (paper §4.2) unless the table was
+    /// configured otherwise.
+    fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool);
+
+    /// Looks up `pc` without allocating or touching statistics.
+    fn peek(&mut self, pc: u32) -> Option<&mut E>;
+
+    /// Access statistics.
+    fn stats(&self) -> HrtStats;
+}
+
+/// The ideal history-register table: unbounded, one entry per branch.
+#[derive(Debug, Clone)]
+pub struct Ihrt<E> {
+    map: HashMap<u32, E>,
+    stats: HrtStats,
+}
+
+impl<E> Ihrt<E> {
+    /// Creates an empty ideal table.
+    pub fn new() -> Self {
+        Ihrt {
+            map: HashMap::new(),
+            stats: HrtStats::default(),
+        }
+    }
+
+    /// Number of distinct branches seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no branches have been seen.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<E> Default for Ihrt<E> {
+    fn default() -> Self {
+        Ihrt::new()
+    }
+}
+
+impl<E> HistoryTable<E> for Ihrt<E> {
+    fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        let mut hit = true;
+        let entry = self.map.entry(pc).or_insert_with(|| {
+            hit = false;
+            init()
+        });
+        if !hit {
+            self.stats.misses += 1;
+        }
+        (entry, hit)
+    }
+
+    fn peek(&mut self, pc: u32) -> Option<&mut E> {
+        self.map.get_mut(&pc)
+    }
+
+    fn stats(&self) -> HrtStats {
+        self.stats
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<E> {
+    tag: u32,
+    valid: bool,
+    stamp: u64,
+    entry: E,
+}
+
+/// Set-associative history-register table with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Ahrt<E> {
+    ways: Vec<Way<E>>,
+    sets: usize,
+    assoc: usize,
+    clock: u64,
+    reinit_on_replace: bool,
+    stats: HrtStats,
+}
+
+impl<E: Clone> Ahrt<E> {
+    /// Creates an `entries`-entry, `ways`-way table with every entry
+    /// initialized to `fill`.
+    ///
+    /// The table is "pre-warmed": every way starts valid with an
+    /// impossible tag, so a replaced branch inherits the initial (or a
+    /// victim's) history rather than garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` divides `entries` and the set count is a
+    /// power of two.
+    pub fn new(entries: usize, ways: usize, fill: E) -> Self {
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
+        Ahrt {
+            ways: vec![
+                Way {
+                    tag: u32::MAX,
+                    valid: false,
+                    stamp: 0,
+                    entry: fill,
+                };
+                entries
+            ],
+            sets,
+            assoc: ways,
+            clock: 0,
+            reinit_on_replace: false,
+            stats: HrtStats::default(),
+        }
+    }
+
+    /// Configures whether a re-allocated entry's contents are reset via
+    /// `init` (`true`) or inherited from the victim (`false`, the
+    /// paper's behaviour, the default).
+    pub fn set_reinit_on_replace(&mut self, reinit: bool) {
+        self.reinit_on_replace = reinit;
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.ways.len()
+    }
+
+    fn set_index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    fn tag(&self, pc: u32) -> u32 {
+        (pc >> 2) / self.sets as u32
+    }
+}
+
+impl<E: Clone> HistoryTable<E> for Ahrt<E> {
+    fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let set = self.set_index(pc);
+        let tag = self.tag(pc);
+        let base = set * self.assoc;
+        let slots = &mut self.ways[base..base + self.assoc];
+
+        // Hit?
+        if let Some(i) = slots.iter().position(|w| w.valid && w.tag == tag) {
+            slots[i].stamp = self.clock;
+            return (&mut slots[i].entry, true);
+        }
+
+        // Miss: prefer an invalid way, else the LRU way.
+        self.stats.misses += 1;
+        let victim = slots.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("associativity is non-zero")
+        });
+        let way = &mut slots[victim];
+        let was_valid = way.valid;
+        way.tag = tag;
+        way.valid = true;
+        way.stamp = self.clock;
+        if !was_valid || self.reinit_on_replace {
+            way.entry = init();
+        }
+        (&mut way.entry, false)
+    }
+
+    fn peek(&mut self, pc: u32) -> Option<&mut E> {
+        let set = self.set_index(pc);
+        let tag = self.tag(pc);
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| &mut w.entry)
+    }
+
+    fn stats(&self) -> HrtStats {
+        self.stats
+    }
+}
+
+/// Tagless hashed history-register table.
+///
+/// Branches whose addresses collide share an entry; the paper accepts
+/// the interference to save the tag store.
+#[derive(Debug, Clone)]
+pub struct Hhrt<E> {
+    slots: Vec<E>,
+    stats: HrtStats,
+}
+
+impl<E: Clone> Hhrt<E> {
+    /// Creates a table of `entries` slots, each initialized to `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize, fill: E) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "HHRT size must be a power of two (got {entries})"
+        );
+        Hhrt {
+            slots: vec![fill; entries],
+            stats: HrtStats::default(),
+        }
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.slots.len() - 1)
+    }
+}
+
+impl<E: Clone> HistoryTable<E> for Hhrt<E> {
+    fn get_or_allocate(&mut self, pc: u32, _init: impl FnOnce() -> E) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        let index = self.index(pc);
+        (&mut self.slots[index], true)
+    }
+
+    fn peek(&mut self, pc: u32) -> Option<&mut E> {
+        let index = self.index(pc);
+        Some(&mut self.slots[index])
+    }
+
+    fn stats(&self) -> HrtStats {
+        self.stats
+    }
+}
+
+/// A runtime-configurable history table (one variant per organization).
+#[derive(Debug, Clone)]
+pub enum AnyHrt<E> {
+    /// Ideal table.
+    Ideal(Ihrt<E>),
+    /// Set-associative table.
+    Associative(Ahrt<E>),
+    /// Tagless hashed table.
+    Hashed(Hhrt<E>),
+}
+
+impl<E: Clone> AnyHrt<E> {
+    /// Builds the organization described by `config`, using `fill` as
+    /// the initial contents of pre-warmed entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` carries invalid geometry (see [`Ahrt::new`]
+    /// and [`Hhrt::new`]).
+    pub fn build(config: HrtConfig, fill: E) -> Self {
+        match config {
+            HrtConfig::Ideal => AnyHrt::Ideal(Ihrt::new()),
+            HrtConfig::Associative { entries, ways } => {
+                AnyHrt::Associative(Ahrt::new(entries, ways, fill))
+            }
+            HrtConfig::Hashed { entries } => AnyHrt::Hashed(Hhrt::new(entries, fill)),
+        }
+    }
+
+    /// See [`Ahrt::set_reinit_on_replace`]; no-op for other
+    /// organizations.
+    pub fn set_reinit_on_replace(&mut self, reinit: bool) {
+        if let AnyHrt::Associative(a) = self {
+            a.set_reinit_on_replace(reinit);
+        }
+    }
+}
+
+impl<E: Clone> HistoryTable<E> for AnyHrt<E> {
+    fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
+        match self {
+            AnyHrt::Ideal(t) => t.get_or_allocate(pc, init),
+            AnyHrt::Associative(t) => t.get_or_allocate(pc, init),
+            AnyHrt::Hashed(t) => t.get_or_allocate(pc, init),
+        }
+    }
+
+    fn peek(&mut self, pc: u32) -> Option<&mut E> {
+        match self {
+            AnyHrt::Ideal(t) => t.peek(pc),
+            AnyHrt::Associative(t) => t.peek(pc),
+            AnyHrt::Hashed(t) => t.peek(pc),
+        }
+    }
+
+    fn stats(&self) -> HrtStats {
+        match self {
+            AnyHrt::Ideal(t) => t.stats(),
+            AnyHrt::Associative(t) => t.stats(),
+            AnyHrt::Hashed(t) => t.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ihrt_allocates_once_per_pc() {
+        let mut t: Ihrt<u32> = Ihrt::new();
+        let (e, hit) = t.get_or_allocate(0x1000, || 7);
+        assert!(!hit);
+        assert_eq!(*e, 7);
+        *e = 9;
+        let (e, hit) = t.get_or_allocate(0x1000, || 7);
+        assert!(hit);
+        assert_eq!(*e, 9);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().accesses, 2);
+        assert_eq!(t.stats().misses, 1);
+        assert!((t.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ihrt_peek_does_not_allocate() {
+        let mut t: Ihrt<u32> = Ihrt::new();
+        assert!(t.peek(0x1000).is_none());
+        assert!(t.is_empty());
+        assert_eq!(t.stats().accesses, 0);
+    }
+
+    #[test]
+    fn ahrt_geometry_validation() {
+        // 512 entries 4-way = 128 sets: fine.
+        let _ = Ahrt::new(512, 4, 0u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn ahrt_rejects_non_power_of_two_sets() {
+        let _ = Ahrt::new(12, 4, 0u32); // 3 sets
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn ahrt_rejects_ragged_ways() {
+        let _ = Ahrt::new(10, 4, 0u32);
+    }
+
+    #[test]
+    fn ahrt_hits_after_allocation() {
+        let mut t = Ahrt::new(8, 2, 0u32);
+        let (e, hit) = t.get_or_allocate(0x1000, || 1);
+        assert!(!hit);
+        *e = 5;
+        let (e, hit) = t.get_or_allocate(0x1000, || 1);
+        assert!(hit);
+        assert_eq!(*e, 5);
+    }
+
+    #[test]
+    fn ahrt_lru_evicts_least_recent() {
+        // 2 sets x 2 ways. Addresses mapping to set 0: pc>>2 even.
+        let mut t = Ahrt::new(4, 2, 0u32);
+        let pc = |i: u32| (i * 2) << 2; // even (pc>>2) values -> set 0
+        t.get_or_allocate(pc(0), || 10);
+        t.get_or_allocate(pc(1), || 11);
+        // Touch pc(0) so pc(1) becomes LRU.
+        t.get_or_allocate(pc(0), || 0);
+        // Allocate a third branch in the same set: must evict pc(1).
+        t.get_or_allocate(pc(2), || 12);
+        assert!(t.peek(pc(0)).is_some());
+        assert!(t.peek(pc(1)).is_none());
+        assert!(t.peek(pc(2)).is_some());
+    }
+
+    #[test]
+    fn ahrt_replacement_inherits_victim_contents_by_default() {
+        // Paper §4.2: "when an entry is re-allocated to a different
+        // static branch, the history register is not re-initialized".
+        let mut t = Ahrt::new(2, 2, 0u32); // one set, two ways
+        let pc = |i: u32| i << 2;
+        *t.get_or_allocate(pc(0), || 100).0 = 42;
+        t.get_or_allocate(pc(1), || 101);
+        t.get_or_allocate(pc(1), || 0); // make pc(0) the LRU
+        let (e, hit) = t.get_or_allocate(pc(2), || 999);
+        assert!(!hit);
+        assert_eq!(*e, 42, "victim contents must persist");
+    }
+
+    #[test]
+    fn ahrt_reinit_mode_resets_victims() {
+        let mut t = Ahrt::new(2, 2, 0u32);
+        t.set_reinit_on_replace(true);
+        let pc = |i: u32| i << 2;
+        *t.get_or_allocate(pc(0), || 100).0 = 42;
+        t.get_or_allocate(pc(1), || 101);
+        t.get_or_allocate(pc(1), || 0);
+        let (e, _) = t.get_or_allocate(pc(2), || 999);
+        assert_eq!(*e, 999);
+    }
+
+    #[test]
+    fn ahrt_different_sets_do_not_interfere() {
+        let mut t = Ahrt::new(8, 2, 0u32); // 4 sets
+                                           // Fill set 0 beyond capacity.
+        for i in 0..6u32 {
+            t.get_or_allocate((i * 4) << 2, || i);
+        }
+        // Set 1 is untouched: allocating there misses but evicts nothing
+        // in set 0... verify set-1 entry works.
+        let (_, hit) = t.get_or_allocate(1 << 2, || 7);
+        assert!(!hit);
+        let (_, hit) = t.get_or_allocate(1 << 2, || 7);
+        assert!(hit);
+    }
+
+    #[test]
+    fn hhrt_collisions_share_entries() {
+        let mut t = Hhrt::new(4, 0u32);
+        // pc values 0x1000 and 0x1040: (pc>>2) & 3 both 0.
+        *t.get_or_allocate(0x1000, || 0).0 = 5;
+        let (e, hit) = t.get_or_allocate(0x1040, || 0);
+        assert!(hit, "HHRT never reports misses");
+        assert_eq!(*e, 5, "colliding branches share the slot");
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hhrt_rejects_non_power_of_two() {
+        let _ = Hhrt::new(300, 0u32);
+    }
+
+    #[test]
+    fn any_hrt_dispatches() {
+        for config in [HrtConfig::Ideal, HrtConfig::ahrt(512), HrtConfig::hhrt(512)] {
+            let mut t = AnyHrt::build(config, 0u32);
+            let (e, _) = t.get_or_allocate(0x1000, || 3);
+            *e += 1;
+            let (e, hit) = t.get_or_allocate(0x1000, || 3);
+            assert!(hit, "{config}");
+            // IHRT/AHRT allocated with init()=3 then +1; HHRT pre-filled
+            // with 0 then +1.
+            assert!(*e == 4 || *e == 1, "{config}");
+            assert!(t.stats().accesses == 2, "{config}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_convention() {
+        assert_eq!(HrtConfig::Ideal.label(), "IHRT");
+        assert_eq!(HrtConfig::ahrt(512).label(), "AHRT(512)");
+        assert_eq!(HrtConfig::hhrt(256).label(), "HHRT(256)");
+    }
+}

@@ -1,0 +1,465 @@
+//! A label-resolving assembler for M88-lite programs.
+
+use crate::inst::{Cond, FCond, Inst};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// A forward-referenceable code label.
+///
+/// Created with [`Assembler::fresh_label`], bound to a position with
+/// [`Assembler::bind`], and used as the target of branch-emitting
+/// methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was used as a branch target but never bound.
+    UnboundLabel {
+        /// The diagnostic name given at creation.
+        name: String,
+    },
+    /// A label was bound twice.
+    DoublyBound {
+        /// The diagnostic name given at creation.
+        name: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::DoublyBound { name } => write!(f, "label `{name}` bound twice"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+struct LabelInfo {
+    name: String,
+    position: Option<u32>,
+}
+
+/// Incremental builder of [`Program`]s.
+///
+/// The assembler provides one method per instruction plus label
+/// management. Branch targets are labels; [`Assembler::finish`] resolves
+/// them to instruction indices.
+///
+/// # Examples
+///
+/// ```
+/// use tlat_isa::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new();
+/// let r2 = Reg::new(2);
+/// let done = asm.fresh_label("done");
+/// asm.li(r2, 10);
+/// asm.beq(r2, Reg::ZERO, done);
+/// asm.addi(r2, r2, -1);
+/// asm.bind(done);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), tlat_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: Vec<LabelInfo>,
+    // (instruction index, label) pairs to patch in finish().
+    fixups: Vec<(usize, Label)>,
+    double_bound: Option<Label>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Number of instructions emitted so far (the index the next
+    /// instruction will occupy).
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Creates a new, unbound label. `name` is only used in diagnostics.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelInfo {
+            name: name.to_owned(),
+            position: None,
+        });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        let info = &mut self.labels[label.0];
+        if info.position.is_some() {
+            self.double_bound.get_or_insert(label);
+            return;
+        }
+        info.position = Some(self.insts.len() as u32);
+    }
+
+    /// Creates a label and binds it to the current position.
+    pub fn bind_fresh(&mut self, name: &str) -> Label {
+        let label = self.fresh_label(name);
+        self.bind(label);
+        label
+    }
+
+    /// Emits a raw instruction. Prefer the named helpers; this exists for
+    /// generated code and tests.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    fn branch_to(&mut self, label: Label, make: impl FnOnce(u32) -> Inst) {
+        self.fixups.push((self.insts.len(), label));
+        // Placeholder index; patched in finish().
+        self.insts.push(make(u32::MAX));
+    }
+
+    /// Resolves all labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any branch targets a label
+    /// that was never bound, and [`AsmError::DoublyBound`] if a label was
+    /// bound more than once.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(label) = self.double_bound {
+            return Err(AsmError::DoublyBound {
+                name: self.labels[label.0].name.clone(),
+            });
+        }
+        for (index, label) in std::mem::take(&mut self.fixups) {
+            let info = &self.labels[label.0];
+            let target = info.position.ok_or_else(|| AsmError::UnboundLabel {
+                name: info.name.clone(),
+            })?;
+            patch_target(&mut self.insts[index], target);
+        }
+        Ok(Program::from_insts(self.insts))
+    }
+
+    // ----- integer ALU -----
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.push(Inst::Li(rd, imm));
+    }
+    /// `rd = rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.push(Inst::Mov(rd, rs));
+    }
+    /// `rd = a + b`
+    pub fn add(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Add(rd, a, b));
+    }
+    /// `rd = a + imm`
+    pub fn addi(&mut self, rd: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Addi(rd, a, imm));
+    }
+    /// `rd = a - b`
+    pub fn sub(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Sub(rd, a, b));
+    }
+    /// `rd = a * b`
+    pub fn mul(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Mul(rd, a, b));
+    }
+    /// `rd = a / b`
+    pub fn div(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Div(rd, a, b));
+    }
+    /// `rd = a % b`
+    pub fn rem(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Rem(rd, a, b));
+    }
+    /// `rd = a & b`
+    pub fn and(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::And(rd, a, b));
+    }
+    /// `rd = a & imm`
+    pub fn andi(&mut self, rd: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Andi(rd, a, imm));
+    }
+    /// `rd = a | b`
+    pub fn or(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Or(rd, a, b));
+    }
+    /// `rd = a | imm`
+    pub fn ori(&mut self, rd: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Ori(rd, a, imm));
+    }
+    /// `rd = a ^ b`
+    pub fn xor(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Xor(rd, a, b));
+    }
+    /// `rd = a ^ imm`
+    pub fn xori(&mut self, rd: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Xori(rd, a, imm));
+    }
+    /// `rd = a << shamt`
+    pub fn slli(&mut self, rd: Reg, a: Reg, shamt: u8) {
+        self.push(Inst::Slli(rd, a, shamt));
+    }
+    /// `rd = a >> shamt` (logical)
+    pub fn srli(&mut self, rd: Reg, a: Reg, shamt: u8) {
+        self.push(Inst::Srli(rd, a, shamt));
+    }
+    /// `rd = a >> shamt` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, a: Reg, shamt: u8) {
+        self.push(Inst::Srai(rd, a, shamt));
+    }
+    /// `rd = (a < b) as i64`
+    pub fn slt(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Slt(rd, a, b));
+    }
+    /// `rd = (a < imm) as i64`
+    pub fn slti(&mut self, rd: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Slti(rd, a, imm));
+    }
+
+    // ----- memory -----
+
+    /// `rd = mem[base + off]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.push(Inst::Ld(rd, base, off));
+    }
+    /// `mem[base + off] = rs`
+    pub fn st(&mut self, rs: Reg, base: Reg, off: i64) {
+        self.push(Inst::St(rs, base, off));
+    }
+    /// `fd = mem[base + off]` as f64
+    pub fn fld(&mut self, fd: FReg, base: Reg, off: i64) {
+        self.push(Inst::Fld(fd, base, off));
+    }
+    /// `mem[base + off] = fs` as raw bits
+    pub fn fst(&mut self, fs: FReg, base: Reg, off: i64) {
+        self.push(Inst::Fst(fs, base, off));
+    }
+
+    // ----- floating point -----
+
+    /// `fd = imm`
+    pub fn fli(&mut self, fd: FReg, imm: f64) {
+        self.push(Inst::Fli(fd, imm));
+    }
+    /// `fd = fs`
+    pub fn fmov(&mut self, fd: FReg, fs: FReg) {
+        self.push(Inst::Fmov(fd, fs));
+    }
+    /// `fd = a + b`
+    pub fn fadd(&mut self, fd: FReg, a: FReg, b: FReg) {
+        self.push(Inst::Fadd(fd, a, b));
+    }
+    /// `fd = a - b`
+    pub fn fsub(&mut self, fd: FReg, a: FReg, b: FReg) {
+        self.push(Inst::Fsub(fd, a, b));
+    }
+    /// `fd = a * b`
+    pub fn fmul(&mut self, fd: FReg, a: FReg, b: FReg) {
+        self.push(Inst::Fmul(fd, a, b));
+    }
+    /// `fd = a / b`
+    pub fn fdiv(&mut self, fd: FReg, a: FReg, b: FReg) {
+        self.push(Inst::Fdiv(fd, a, b));
+    }
+    /// `fd = -fs`
+    pub fn fneg(&mut self, fd: FReg, fs: FReg) {
+        self.push(Inst::Fneg(fd, fs));
+    }
+    /// `fd = |fs|`
+    pub fn fabs(&mut self, fd: FReg, fs: FReg) {
+        self.push(Inst::Fabs(fd, fs));
+    }
+    /// `fd = sqrt(fs)`
+    pub fn fsqrt(&mut self, fd: FReg, fs: FReg) {
+        self.push(Inst::Fsqrt(fd, fs));
+    }
+    /// `fd = rs as f64`
+    pub fn itof(&mut self, fd: FReg, rs: Reg) {
+        self.push(Inst::Itof(fd, rs));
+    }
+    /// `rd = fs as i64`
+    pub fn ftoi(&mut self, rd: Reg, fs: FReg) {
+        self.push(Inst::Ftoi(rd, fs));
+    }
+
+    // ----- control transfer -----
+
+    /// Conditional branch with an explicit condition.
+    pub fn bc(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) {
+        self.branch_to(target, |t| Inst::Bc(cond, a, b, t));
+    }
+    /// Branch when `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Eq, a, b, target);
+    }
+    /// Branch when `a != b`.
+    pub fn bne(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Ne, a, b, target);
+    }
+    /// Branch when `a < b`.
+    pub fn blt(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Lt, a, b, target);
+    }
+    /// Branch when `a >= b`.
+    pub fn bge(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Ge, a, b, target);
+    }
+    /// Branch when `a <= b`.
+    pub fn ble(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Le, a, b, target);
+    }
+    /// Branch when `a > b`.
+    pub fn bgt(&mut self, a: Reg, b: Reg, target: Label) {
+        self.bc(Cond::Gt, a, b, target);
+    }
+    /// Floating-point conditional branch.
+    pub fn fbc(&mut self, cond: FCond, a: FReg, b: FReg, target: Label) {
+        self.branch_to(target, |t| Inst::Fbc(cond, a, b, t));
+    }
+    /// Branch when `a < b` (floating point).
+    pub fn fblt(&mut self, a: FReg, b: FReg, target: Label) {
+        self.fbc(FCond::Lt, a, b, target);
+    }
+    /// Branch when `a >= b` (floating point).
+    pub fn fbge(&mut self, a: FReg, b: FReg, target: Label) {
+        self.fbc(FCond::Ge, a, b, target);
+    }
+    /// Branch when `a == b` (floating point).
+    pub fn fbeq(&mut self, a: FReg, b: FReg, target: Label) {
+        self.fbc(FCond::Eq, a, b, target);
+    }
+    /// Unconditional branch.
+    pub fn br(&mut self, target: Label) {
+        self.branch_to(target, Inst::Br);
+    }
+    /// Register-indirect jump.
+    pub fn jmp(&mut self, rs: Reg) {
+        self.push(Inst::Jmp(rs));
+    }
+    /// Direct subroutine call.
+    pub fn call(&mut self, target: Label) {
+        self.branch_to(target, Inst::Call);
+    }
+    /// Indirect subroutine call.
+    pub fn callr(&mut self, rs: Reg) {
+        self.push(Inst::CallR(rs));
+    }
+    /// Subroutine return.
+    pub fn ret(&mut self) {
+        self.push(Inst::Ret);
+    }
+
+    // ----- misc -----
+
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+    /// Stop execution.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+}
+
+fn patch_target(inst: &mut Inst, target: u32) {
+    match inst {
+        Inst::Bc(_, _, _, t) | Inst::Fbc(_, _, _, t) | Inst::Br(t) | Inst::Call(t) => *t = target,
+        other => unreachable!("fixup on non-branch instruction {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let r2 = Reg::new(2);
+        let fwd = asm.fresh_label("fwd");
+        let back = asm.bind_fresh("back");
+        asm.beq(r2, Reg::ZERO, fwd); // index 0 -> target 3
+        asm.br(back); // index 1 -> target 0
+        asm.nop();
+        asm.bind(fwd);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts()[0], Inst::Bc(Cond::Eq, r2, Reg::ZERO, 3));
+        assert_eq!(p.insts()[1], Inst::Br(0));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let dangling = asm.fresh_label("dangling");
+        asm.br(dangling);
+        match asm.finish() {
+            Err(AsmError::UnboundLabel { name }) => assert_eq!(name, "dangling"),
+            other => panic!("expected UnboundLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unused_unbound_label_is_fine() {
+        let mut asm = Assembler::new();
+        let _never_used = asm.fresh_label("unused");
+        asm.halt();
+        assert!(asm.finish().is_ok());
+    }
+
+    #[test]
+    fn doubly_bound_label_is_an_error() {
+        let mut asm = Assembler::new();
+        let l = asm.fresh_label("twice");
+        asm.bind(l);
+        asm.nop();
+        asm.bind(l);
+        match asm.finish() {
+            Err(AsmError::DoublyBound { name }) => assert_eq!(name, "twice"),
+            other => panic!("expected DoublyBound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.here(), 0);
+        asm.nop();
+        asm.nop();
+        assert_eq!(asm.here(), 2);
+    }
+
+    #[test]
+    fn call_targets_resolve() {
+        let mut asm = Assembler::new();
+        let f = asm.fresh_label("f");
+        asm.call(f);
+        asm.halt();
+        asm.bind(f);
+        asm.ret();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts()[0], Inst::Call(2));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AsmError::UnboundLabel { name: "x".into() };
+        assert!(e.to_string().contains('x'));
+        let e = AsmError::DoublyBound { name: "y".into() };
+        assert!(e.to_string().contains('y'));
+    }
+}

@@ -1,0 +1,391 @@
+//! The M88-lite instruction set.
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+use tlat_trace::{BranchClass, InstClass};
+
+/// Conditions for integer compare-and-branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Branch when equal.
+    Eq,
+    /// Branch when not equal.
+    Ne,
+    /// Branch when less than (signed).
+    Lt,
+    /// Branch when greater or equal (signed).
+    Ge,
+    /// Branch when less or equal (signed).
+    Le,
+    /// Branch when greater than (signed).
+    Gt,
+}
+
+impl Cond {
+    /// The mnemonic suffix (`eq`, `ne`, `lt`, `ge`, `le`, `gt`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+        }
+    }
+
+    /// Parses a mnemonic suffix.
+    pub fn from_mnemonic(m: &str) -> Option<Self> {
+        Some(match m {
+            "eq" => Cond::Eq,
+            "ne" => Cond::Ne,
+            "lt" => Cond::Lt,
+            "ge" => Cond::Ge,
+            "le" => Cond::Le,
+            "gt" => Cond::Gt,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition on two signed operands.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+}
+
+/// Conditions for floating-point compare-and-branch instructions.
+///
+/// NaN compares false for every ordered condition and true for `Ne`,
+/// following IEEE-754 semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCond {
+    /// Branch when equal.
+    Eq,
+    /// Branch when not equal (including unordered).
+    Ne,
+    /// Branch when less than.
+    Lt,
+    /// Branch when greater or equal.
+    Ge,
+}
+
+impl FCond {
+    /// The mnemonic suffix (`eq`, `ne`, `lt`, `ge`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCond::Eq => "eq",
+            FCond::Ne => "ne",
+            FCond::Lt => "lt",
+            FCond::Ge => "ge",
+        }
+    }
+
+    /// Parses a mnemonic suffix.
+    pub fn from_mnemonic(m: &str) -> Option<Self> {
+        Some(match m {
+            "eq" => FCond::Eq,
+            "ne" => FCond::Ne,
+            "lt" => FCond::Lt,
+            "ge" => FCond::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition on two floating-point operands.
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            FCond::Eq => a == b,
+            FCond::Ne => a != b,
+            FCond::Lt => a < b,
+            FCond::Ge => a >= b,
+        }
+    }
+}
+
+/// One M88-lite instruction.
+///
+/// Branch targets are *instruction indices* into the owning
+/// [`Program`](crate::Program); the assembler resolves labels to indices
+/// and the program's base address maps indices to byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    // ----- integer ALU -----
+    /// `rd = imm`
+    Li(Reg, i64),
+    /// `rd = rs`
+    Mov(Reg, Reg),
+    /// `rd = rs1 + rs2` (wrapping)
+    Add(Reg, Reg, Reg),
+    /// `rd = rs + imm` (wrapping)
+    Addi(Reg, Reg, i64),
+    /// `rd = rs1 - rs2` (wrapping)
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 / rs2` (signed; errors on division by zero)
+    Div(Reg, Reg, Reg),
+    /// `rd = rs1 % rs2` (signed; errors on division by zero)
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs & imm`
+    Andi(Reg, Reg, i64),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs | imm`
+    Ori(Reg, Reg, i64),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs ^ imm`
+    Xori(Reg, Reg, i64),
+    /// `rd = rs << shamt`
+    Slli(Reg, Reg, u8),
+    /// `rd = (rs as u64) >> shamt`
+    Srli(Reg, Reg, u8),
+    /// `rd = rs >> shamt` (arithmetic)
+    Srai(Reg, Reg, u8),
+    /// `rd = (rs1 < rs2) as i64` (signed)
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs < imm) as i64` (signed)
+    Slti(Reg, Reg, i64),
+
+    // ----- memory (word-addressed; offsets are in words) -----
+    /// `rd = mem[rs_base + off]`
+    Ld(Reg, Reg, i64),
+    /// `mem[rs_base + off] = rs_val`
+    St(Reg, Reg, i64),
+    /// `fd = mem[rs_base + off]` reinterpreted as `f64`
+    Fld(FReg, Reg, i64),
+    /// `mem[rs_base + off] = fs` as raw bits
+    Fst(FReg, Reg, i64),
+
+    // ----- floating point -----
+    /// `fd = imm`
+    Fli(FReg, f64),
+    /// `fd = fs`
+    Fmov(FReg, FReg),
+    /// `fd = fa + fb`
+    Fadd(FReg, FReg, FReg),
+    /// `fd = fa - fb`
+    Fsub(FReg, FReg, FReg),
+    /// `fd = fa * fb`
+    Fmul(FReg, FReg, FReg),
+    /// `fd = fa / fb` (IEEE semantics; may produce inf/NaN)
+    Fdiv(FReg, FReg, FReg),
+    /// `fd = -fs`
+    Fneg(FReg, FReg),
+    /// `fd = |fs|`
+    Fabs(FReg, FReg),
+    /// `fd = sqrt(fs)`
+    Fsqrt(FReg, FReg),
+    /// `fd = rs as f64`
+    Itof(FReg, Reg),
+    /// `rd = fs as i64` (truncating; saturates at the i64 range)
+    Ftoi(Reg, FReg),
+
+    // ----- control transfer -----
+    /// Conditional branch: compare two integer registers.
+    Bc(Cond, Reg, Reg, u32),
+    /// Conditional branch: compare two floating-point registers.
+    Fbc(FCond, FReg, FReg, u32),
+    /// Immediate unconditional branch.
+    Br(u32),
+    /// Register-indirect unconditional branch (target = register value,
+    /// a byte address).
+    Jmp(Reg),
+    /// Direct call: `r1 = return address; pc = target`.
+    Call(u32),
+    /// Indirect call through a register.
+    CallR(Reg),
+    /// Subroutine return: `pc = r1`.
+    Ret,
+
+    // ----- misc -----
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Inst {
+    /// The dynamic-mix category of this instruction (Figure 3 of the
+    /// paper).
+    pub fn category(self) -> InstClass {
+        use Inst::*;
+        match self {
+            Add(..) | Addi(..) | Sub(..) | Mul(..) | Div(..) | Rem(..) | And(..) | Andi(..)
+            | Or(..) | Ori(..) | Xor(..) | Xori(..) | Slli(..) | Srli(..) | Srai(..) | Slt(..)
+            | Slti(..) => InstClass::IntAlu,
+            Fadd(..) | Fsub(..) | Fmul(..) | Fdiv(..) | Fneg(..) | Fabs(..) | Fsqrt(..)
+            | Itof(..) | Ftoi(..) => InstClass::FpAlu,
+            Ld(..) | St(..) | Fld(..) | Fst(..) => InstClass::Mem,
+            Bc(..) | Fbc(..) | Br(..) | Jmp(..) | Call(..) | CallR(..) | Ret => InstClass::Branch,
+            Li(..) | Mov(..) | Fli(..) | Fmov(..) | Nop | Halt => InstClass::Other,
+        }
+    }
+
+    /// The branch class of this instruction, or `None` for non-branches.
+    pub fn branch_class(self) -> Option<BranchClass> {
+        use Inst::*;
+        Some(match self {
+            Bc(..) | Fbc(..) => BranchClass::Conditional,
+            Br(..) | Call(..) => BranchClass::ImmediateUnconditional,
+            Jmp(..) | CallR(..) => BranchClass::RegisterUnconditional,
+            Ret => BranchClass::Return,
+            _ => return None,
+        })
+    }
+
+    /// `true` when this instruction pushes a return address.
+    pub fn is_call(self) -> bool {
+        matches!(self, Inst::Call(..) | Inst::CallR(..))
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Li(rd, imm) => write!(f, "li {rd}, {imm}"),
+            Mov(rd, rs) => write!(f, "mov {rd}, {rs}"),
+            Add(rd, a, b) => write!(f, "add {rd}, {a}, {b}"),
+            Addi(rd, a, imm) => write!(f, "addi {rd}, {a}, {imm}"),
+            Sub(rd, a, b) => write!(f, "sub {rd}, {a}, {b}"),
+            Mul(rd, a, b) => write!(f, "mul {rd}, {a}, {b}"),
+            Div(rd, a, b) => write!(f, "div {rd}, {a}, {b}"),
+            Rem(rd, a, b) => write!(f, "rem {rd}, {a}, {b}"),
+            And(rd, a, b) => write!(f, "and {rd}, {a}, {b}"),
+            Andi(rd, a, imm) => write!(f, "andi {rd}, {a}, {imm}"),
+            Or(rd, a, b) => write!(f, "or {rd}, {a}, {b}"),
+            Ori(rd, a, imm) => write!(f, "ori {rd}, {a}, {imm}"),
+            Xor(rd, a, b) => write!(f, "xor {rd}, {a}, {b}"),
+            Xori(rd, a, imm) => write!(f, "xori {rd}, {a}, {imm}"),
+            Slli(rd, a, s) => write!(f, "slli {rd}, {a}, {s}"),
+            Srli(rd, a, s) => write!(f, "srli {rd}, {a}, {s}"),
+            Srai(rd, a, s) => write!(f, "srai {rd}, {a}, {s}"),
+            Slt(rd, a, b) => write!(f, "slt {rd}, {a}, {b}"),
+            Slti(rd, a, imm) => write!(f, "slti {rd}, {a}, {imm}"),
+            Ld(rd, base, off) => write!(f, "ld {rd}, {off}({base})"),
+            St(rs, base, off) => write!(f, "st {rs}, {off}({base})"),
+            Fld(fd, base, off) => write!(f, "fld {fd}, {off}({base})"),
+            Fst(fs, base, off) => write!(f, "fst {fs}, {off}({base})"),
+            Fli(fd, imm) => write!(f, "fli {fd}, {imm}"),
+            Fmov(fd, fs) => write!(f, "fmov {fd}, {fs}"),
+            Fadd(fd, a, b) => write!(f, "fadd {fd}, {a}, {b}"),
+            Fsub(fd, a, b) => write!(f, "fsub {fd}, {a}, {b}"),
+            Fmul(fd, a, b) => write!(f, "fmul {fd}, {a}, {b}"),
+            Fdiv(fd, a, b) => write!(f, "fdiv {fd}, {a}, {b}"),
+            Fneg(fd, fs) => write!(f, "fneg {fd}, {fs}"),
+            Fabs(fd, fs) => write!(f, "fabs {fd}, {fs}"),
+            Fsqrt(fd, fs) => write!(f, "fsqrt {fd}, {fs}"),
+            Itof(fd, rs) => write!(f, "itof {fd}, {rs}"),
+            Ftoi(rd, fs) => write!(f, "ftoi {rd}, {fs}"),
+            Bc(cond, a, b, t) => write!(f, "b{} {a}, {b}, @{t}", cond.mnemonic()),
+            Fbc(cond, a, b, t) => write!(f, "fb{} {a}, {b}, @{t}", cond.mnemonic()),
+            Br(t) => write!(f, "br @{t}"),
+            Jmp(rs) => write!(f, "jmp {rs}"),
+            Call(t) => write!(f, "call @{t}"),
+            CallR(rs) => write!(f, "callr {rs}"),
+            Ret => write!(f, "ret"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(!Cond::Lt.eval(0, -1));
+        assert!(Cond::Ge.eval(5, 5));
+        assert!(Cond::Le.eval(4, 5));
+        assert!(Cond::Gt.eval(6, 5));
+    }
+
+    #[test]
+    fn fcond_eval_with_nan() {
+        assert!(FCond::Lt.eval(1.0, 2.0));
+        assert!(FCond::Ge.eval(2.0, 2.0));
+        assert!(FCond::Eq.eval(2.0, 2.0));
+        let nan = f64::NAN;
+        assert!(!FCond::Lt.eval(nan, 1.0));
+        assert!(!FCond::Ge.eval(nan, 1.0));
+        assert!(!FCond::Eq.eval(nan, nan));
+        assert!(FCond::Ne.eval(nan, nan));
+    }
+
+    #[test]
+    fn categories() {
+        let r = Reg::new(2);
+        let fr = FReg::new(2);
+        assert_eq!(Inst::Add(r, r, r).category(), InstClass::IntAlu);
+        assert_eq!(Inst::Fadd(fr, fr, fr).category(), InstClass::FpAlu);
+        assert_eq!(Inst::Ld(r, r, 0).category(), InstClass::Mem);
+        assert_eq!(Inst::Ret.category(), InstClass::Branch);
+        assert_eq!(Inst::Nop.category(), InstClass::Other);
+        assert_eq!(Inst::Li(r, 1).category(), InstClass::Other);
+    }
+
+    #[test]
+    fn branch_classes() {
+        let r = Reg::new(2);
+        let fr = FReg::new(2);
+        assert_eq!(
+            Inst::Bc(Cond::Eq, r, r, 0).branch_class(),
+            Some(BranchClass::Conditional)
+        );
+        assert_eq!(
+            Inst::Fbc(FCond::Lt, fr, fr, 0).branch_class(),
+            Some(BranchClass::Conditional)
+        );
+        assert_eq!(
+            Inst::Br(0).branch_class(),
+            Some(BranchClass::ImmediateUnconditional)
+        );
+        assert_eq!(
+            Inst::Call(0).branch_class(),
+            Some(BranchClass::ImmediateUnconditional)
+        );
+        assert_eq!(
+            Inst::Jmp(r).branch_class(),
+            Some(BranchClass::RegisterUnconditional)
+        );
+        assert_eq!(
+            Inst::CallR(r).branch_class(),
+            Some(BranchClass::RegisterUnconditional)
+        );
+        assert_eq!(Inst::Ret.branch_class(), Some(BranchClass::Return));
+        assert_eq!(Inst::Nop.branch_class(), None);
+    }
+
+    #[test]
+    fn call_detection() {
+        let r = Reg::new(2);
+        assert!(Inst::Call(0).is_call());
+        assert!(Inst::CallR(r).is_call());
+        assert!(!Inst::Br(0).is_call());
+        assert!(!Inst::Ret.is_call());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = Reg::new(2);
+        for inst in [Inst::Add(r, r, r), Inst::Ret, Inst::Halt, Inst::Br(3)] {
+            assert!(!inst.to_string().is_empty());
+        }
+    }
+}

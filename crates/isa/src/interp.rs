@@ -1,0 +1,742 @@
+//! The tracing interpreter.
+
+use crate::inst::Inst;
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::error::Error;
+use std::fmt;
+use tlat_trace::{BranchRecord, TraceSink};
+
+/// Why [`Interpreter::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction was executed.
+    Halted,
+    /// The instruction budget ran out.
+    FuelExhausted,
+    /// The sink asked the interpreter to stop (its branch budget was
+    /// reached).
+    SinkStopped,
+}
+
+/// Successful result of [`Interpreter::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Why execution stopped.
+    pub stop: StopReason,
+}
+
+/// Execution fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// A load or store addressed a word outside data memory.
+    MemOutOfBounds {
+        /// Faulting word address.
+        address: i64,
+        /// Address of the faulting instruction.
+        pc: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// Address of the faulting instruction.
+        pc: u32,
+    },
+    /// A jump or return targeted an address outside the program.
+    BadJumpTarget {
+        /// The bad target byte address.
+        target: i64,
+        /// Address of the faulting instruction.
+        pc: u32,
+    },
+    /// Execution fell off the end of the program.
+    PcOutOfRange {
+        /// The out-of-range instruction index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MemOutOfBounds { address, pc } => {
+                write!(
+                    f,
+                    "memory access to word {address} out of bounds at {pc:#x}"
+                )
+            }
+            ExecError::DivByZero { pc } => write!(f, "integer division by zero at {pc:#x}"),
+            ExecError::BadJumpTarget { target, pc } => {
+                write!(f, "jump to invalid target {target:#x} at {pc:#x}")
+            }
+            ExecError::PcOutOfRange { index } => {
+                write!(f, "execution fell off the program at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Executes a [`Program`] against a data memory, streaming every executed
+/// instruction and branch into a [`TraceSink`].
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a complete loop
+/// example.
+#[derive(Debug, Clone)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    regs: [i64; Reg::COUNT],
+    fregs: [f64; FReg::COUNT],
+    memory: Vec<i64>,
+    pc: u32,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program` with `memory_words` words of
+    /// zeroed data memory. Execution starts at instruction index 0.
+    pub fn new(program: &'p Program, memory_words: usize) -> Self {
+        Interpreter {
+            program,
+            regs: [0; Reg::COUNT],
+            fregs: [0.0; FReg::COUNT],
+            memory: vec![0; memory_words],
+            pc: 0,
+        }
+    }
+
+    /// Creates an interpreter with a preloaded data-memory image.
+    pub fn with_memory(program: &'p Program, memory: Vec<i64>) -> Self {
+        Interpreter {
+            program,
+            regs: [0; Reg::COUNT],
+            fregs: [0.0; FReg::COUNT],
+            memory,
+            pc: 0,
+        }
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an integer register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn freg(&self, r: FReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_freg(&mut self, r: FReg, value: f64) {
+        self.fregs[r.index()] = value;
+    }
+
+    /// The data memory.
+    pub fn memory(&self) -> &[i64] {
+        &self.memory
+    }
+
+    /// Mutable access to the data memory (for loading inputs).
+    pub fn memory_mut(&mut self) -> &mut [i64] {
+        &mut self.memory
+    }
+
+    /// Byte address of the next instruction to execute.
+    pub fn pc(&self) -> u32 {
+        self.program.address_of(self.pc)
+    }
+
+    fn mem_read(&self, base: Reg, off: i64, pc: u32) -> Result<i64, ExecError> {
+        let address = self.regs[base.index()].wrapping_add(off);
+        self.memory
+            .get(
+                usize::try_from(address)
+                    .ok()
+                    .ok_or(ExecError::MemOutOfBounds { address, pc })?,
+            )
+            .copied()
+            .ok_or(ExecError::MemOutOfBounds { address, pc })
+    }
+
+    fn mem_write(&mut self, base: Reg, off: i64, value: i64, pc: u32) -> Result<(), ExecError> {
+        let address = self.regs[base.index()].wrapping_add(off);
+        let slot = usize::try_from(address)
+            .ok()
+            .and_then(|a| self.memory.get_mut(a))
+            .ok_or(ExecError::MemOutOfBounds { address, pc })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn jump_index(&self, target: i64, pc: u32) -> Result<u32, ExecError> {
+        u32::try_from(target)
+            .ok()
+            .and_then(|addr| self.program.index_of(addr))
+            .ok_or(ExecError::BadJumpTarget { target, pc })
+    }
+
+    /// Runs until the program halts, `fuel` instructions have executed,
+    /// the sink asks to stop, or a fault occurs.
+    ///
+    /// The interpreter can be resumed by calling `run` again as long as
+    /// the previous call stopped for fuel or by sink request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on memory faults, division by zero or
+    /// invalid jump targets. State at the fault is preserved for
+    /// inspection.
+    pub fn run<S: TraceSink>(&mut self, sink: &mut S, fuel: u64) -> Result<RunOutcome, ExecError> {
+        let mut executed = 0u64;
+        while executed < fuel {
+            let index = self.pc;
+            let Some(&inst) = self.program.insts().get(index as usize) else {
+                return Err(ExecError::PcOutOfRange { index });
+            };
+            let pc_addr = self.program.address_of(index);
+            executed += 1;
+            let mut next = index + 1;
+            let mut keep_going = true;
+
+            use Inst::*;
+            match inst {
+                Li(rd, imm) => self.set_reg(rd, imm),
+                Mov(rd, rs) => self.set_reg(rd, self.reg(rs)),
+                Add(rd, a, b) => self.set_reg(rd, self.reg(a).wrapping_add(self.reg(b))),
+                Addi(rd, a, imm) => self.set_reg(rd, self.reg(a).wrapping_add(imm)),
+                Sub(rd, a, b) => self.set_reg(rd, self.reg(a).wrapping_sub(self.reg(b))),
+                Mul(rd, a, b) => self.set_reg(rd, self.reg(a).wrapping_mul(self.reg(b))),
+                Div(rd, a, b) => {
+                    let d = self.reg(b);
+                    if d == 0 {
+                        return Err(ExecError::DivByZero { pc: pc_addr });
+                    }
+                    self.set_reg(rd, self.reg(a).wrapping_div(d));
+                }
+                Rem(rd, a, b) => {
+                    let d = self.reg(b);
+                    if d == 0 {
+                        return Err(ExecError::DivByZero { pc: pc_addr });
+                    }
+                    self.set_reg(rd, self.reg(a).wrapping_rem(d));
+                }
+                And(rd, a, b) => self.set_reg(rd, self.reg(a) & self.reg(b)),
+                Andi(rd, a, imm) => self.set_reg(rd, self.reg(a) & imm),
+                Or(rd, a, b) => self.set_reg(rd, self.reg(a) | self.reg(b)),
+                Ori(rd, a, imm) => self.set_reg(rd, self.reg(a) | imm),
+                Xor(rd, a, b) => self.set_reg(rd, self.reg(a) ^ self.reg(b)),
+                Xori(rd, a, imm) => self.set_reg(rd, self.reg(a) ^ imm),
+                Slli(rd, a, s) => self.set_reg(rd, self.reg(a).wrapping_shl(s as u32)),
+                Srli(rd, a, s) => {
+                    self.set_reg(rd, (self.reg(a) as u64).wrapping_shr(s as u32) as i64)
+                }
+                Srai(rd, a, s) => self.set_reg(rd, self.reg(a).wrapping_shr(s as u32)),
+                Slt(rd, a, b) => self.set_reg(rd, (self.reg(a) < self.reg(b)) as i64),
+                Slti(rd, a, imm) => self.set_reg(rd, (self.reg(a) < imm) as i64),
+
+                Ld(rd, base, off) => {
+                    let v = self.mem_read(base, off, pc_addr)?;
+                    self.set_reg(rd, v);
+                }
+                St(rs, base, off) => {
+                    self.mem_write(base, off, self.reg(rs), pc_addr)?;
+                }
+                Fld(fd, base, off) => {
+                    let v = self.mem_read(base, off, pc_addr)?;
+                    self.set_freg(fd, f64::from_bits(v as u64));
+                }
+                Fst(fs, base, off) => {
+                    self.mem_write(base, off, self.freg(fs).to_bits() as i64, pc_addr)?;
+                }
+
+                Fli(fd, imm) => self.set_freg(fd, imm),
+                Fmov(fd, fs) => self.set_freg(fd, self.freg(fs)),
+                Fadd(fd, a, b) => self.set_freg(fd, self.freg(a) + self.freg(b)),
+                Fsub(fd, a, b) => self.set_freg(fd, self.freg(a) - self.freg(b)),
+                Fmul(fd, a, b) => self.set_freg(fd, self.freg(a) * self.freg(b)),
+                Fdiv(fd, a, b) => self.set_freg(fd, self.freg(a) / self.freg(b)),
+                Fneg(fd, fs) => self.set_freg(fd, -self.freg(fs)),
+                Fabs(fd, fs) => self.set_freg(fd, self.freg(fs).abs()),
+                Fsqrt(fd, fs) => self.set_freg(fd, self.freg(fs).sqrt()),
+                Itof(fd, rs) => self.set_freg(fd, self.reg(rs) as f64),
+                Ftoi(rd, fs) => self.set_reg(rd, self.freg(fs) as i64),
+
+                Bc(cond, a, b, t) => {
+                    let taken = cond.eval(self.reg(a), self.reg(b));
+                    keep_going = sink.record_branch(BranchRecord::conditional(
+                        pc_addr,
+                        self.program.address_of(t),
+                        taken,
+                    ));
+                    if taken {
+                        next = t;
+                    }
+                }
+                Fbc(cond, a, b, t) => {
+                    let taken = cond.eval(self.freg(a), self.freg(b));
+                    keep_going = sink.record_branch(BranchRecord::conditional(
+                        pc_addr,
+                        self.program.address_of(t),
+                        taken,
+                    ));
+                    if taken {
+                        next = t;
+                    }
+                }
+                Br(t) => {
+                    keep_going = sink.record_branch(BranchRecord::unconditional_imm(
+                        pc_addr,
+                        self.program.address_of(t),
+                    ));
+                    next = t;
+                }
+                Jmp(rs) => {
+                    let target = self.reg(rs);
+                    next = self.jump_index(target, pc_addr)?;
+                    keep_going = sink.record_branch(BranchRecord::unconditional_reg(
+                        pc_addr,
+                        self.program.address_of(next),
+                    ));
+                }
+                Call(t) => {
+                    self.set_reg(Reg::LINK, self.program.address_of(index + 1) as i64);
+                    keep_going = sink
+                        .record_branch(BranchRecord::call_imm(pc_addr, self.program.address_of(t)));
+                    next = t;
+                }
+                CallR(rs) => {
+                    let target = self.reg(rs);
+                    next = self.jump_index(target, pc_addr)?;
+                    self.set_reg(Reg::LINK, self.program.address_of(index + 1) as i64);
+                    keep_going = sink.record_branch(BranchRecord::call_reg(
+                        pc_addr,
+                        self.program.address_of(next),
+                    ));
+                }
+                Ret => {
+                    let target = self.reg(Reg::LINK);
+                    next = self.jump_index(target, pc_addr)?;
+                    keep_going = sink.record_branch(BranchRecord::subroutine_return(
+                        pc_addr,
+                        self.program.address_of(next),
+                    ));
+                }
+
+                Nop => {}
+                Halt => {
+                    self.pc = index; // re-executing keeps halting
+                    sink.record_instruction(inst.category());
+                    return Ok(RunOutcome {
+                        instructions: executed,
+                        stop: StopReason::Halted,
+                    });
+                }
+            }
+
+            if inst.branch_class().is_none() {
+                sink.record_instruction(inst.category());
+            }
+            self.pc = next;
+            if !keep_going {
+                return Ok(RunOutcome {
+                    instructions: executed,
+                    stop: StopReason::SinkStopped,
+                });
+            }
+        }
+        Ok(RunOutcome {
+            instructions: executed,
+            stop: StopReason::FuelExhausted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{Cond, FCond};
+    use tlat_trace::{BranchClass, CountingSink, LimitSink, Trace};
+
+    const R2: Reg = Reg::new(2);
+    const R3: Reg = Reg::new(3);
+    const R4: Reg = Reg::new(4);
+    const F1: FReg = FReg::new(1);
+    const F2: FReg = FReg::new(2);
+
+    fn run_program(build: impl FnOnce(&mut Assembler)) -> (Interpreter<'static>, Trace) {
+        let mut asm = Assembler::new();
+        build(&mut asm);
+        let program = Box::leak(Box::new(asm.finish().unwrap()));
+        let mut interp = Interpreter::new(program, 64);
+        let mut trace = Trace::new();
+        interp.run(&mut trace, 100_000).unwrap();
+        (interp, trace)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (interp, _) = run_program(|asm| {
+            asm.li(R2, 7);
+            asm.li(R3, 3);
+            asm.add(R4, R2, R3);
+            asm.halt();
+        });
+        assert_eq!(interp.reg(R4), 10);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (interp, _) = run_program(|asm| {
+            asm.li(Reg::ZERO, 42);
+            asm.addi(Reg::ZERO, Reg::ZERO, 1);
+            asm.halt();
+        });
+        assert_eq!(interp.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let (interp, _) = run_program(|asm| {
+            asm.li(R2, -8);
+            asm.srai(R3, R2, 1); // -4
+            asm.srli(R4, R2, 60); // high bits of two's complement
+            asm.halt();
+        });
+        assert_eq!(interp.reg(R3), -4);
+        assert_eq!(interp.reg(R4), 0xf);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let (interp, _) = run_program(|asm| {
+            asm.li(R2, 5); // address
+            asm.li(R3, 1234);
+            asm.st(R3, R2, 2); // mem[7] = 1234
+            asm.ld(R4, R2, 2);
+            asm.halt();
+        });
+        assert_eq!(interp.reg(R4), 1234);
+        assert_eq!(interp.memory()[7], 1234);
+    }
+
+    #[test]
+    fn fp_roundtrip_through_memory() {
+        let (interp, _) = run_program(|asm| {
+            asm.fli(F1, 2.5);
+            asm.fli(F2, 4.0);
+            asm.fmul(F1, F1, F2); // 10.0
+            asm.li(R2, 0);
+            asm.fst(F1, R2, 3);
+            asm.fld(F2, R2, 3);
+            asm.fsqrt(F2, F2);
+            asm.halt();
+        });
+        assert!((interp.freg(F2) - 10.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_emits_expected_branch_stream() {
+        let (_, trace) = run_program(|asm| {
+            asm.li(R2, 0);
+            asm.li(R3, 5);
+            let top = asm.bind_fresh("top");
+            asm.addi(R2, R2, 1);
+            asm.blt(R2, R3, top);
+            asm.halt();
+        });
+        assert_eq!(trace.conditional_len(), 5);
+        let taken: Vec<bool> = trace.iter().map(|b| b.taken).collect();
+        assert_eq!(taken, vec![true, true, true, true, false]);
+        // All from the same static site.
+        assert_eq!(trace.stats().static_conditional_branches, 1);
+    }
+
+    #[test]
+    fn call_and_return_emit_proper_classes() {
+        let (interp, trace) = run_program(|asm| {
+            let f = asm.fresh_label("f");
+            asm.call(f);
+            asm.halt();
+            asm.bind(f);
+            asm.li(R2, 99);
+            asm.ret();
+        });
+        assert_eq!(interp.reg(R2), 99);
+        let classes: Vec<BranchClass> = trace.iter().map(|b| b.class).collect();
+        assert_eq!(
+            classes,
+            vec![BranchClass::ImmediateUnconditional, BranchClass::Return]
+        );
+        assert!(trace.branches()[0].call);
+        // The return target is the instruction after the call.
+        assert_eq!(
+            trace.branches()[1].target,
+            trace.branches()[0].fall_through()
+        );
+    }
+
+    #[test]
+    fn indirect_jump_and_call() {
+        let (interp, trace) = run_program(|asm| {
+            let f = asm.fresh_label("f");
+            let after = asm.fresh_label("after");
+            // r2 = address of f (instruction index 4: li, callr, br, halt, f).
+            asm.li(R2, 0x1000 + 4 * 4);
+            asm.callr(R2);
+            asm.br(after);
+            asm.bind(after);
+            asm.halt();
+            asm.bind(f); // index 4
+            asm.li(R3, 7);
+            asm.ret();
+        });
+        assert_eq!(interp.reg(R3), 7);
+        assert_eq!(
+            trace.branches()[0].class,
+            BranchClass::RegisterUnconditional
+        );
+        assert!(trace.branches()[0].call);
+    }
+
+    #[test]
+    fn fp_branch_direction() {
+        let (_, trace) = run_program(|asm| {
+            let skip = asm.fresh_label("skip");
+            asm.fli(F1, 1.0);
+            asm.fli(F2, 2.0);
+            asm.fblt(F1, F2, skip); // taken
+            asm.nop();
+            asm.bind(skip);
+            asm.fbge(F1, F2, skip); // not taken
+            asm.halt();
+        });
+        let dirs: Vec<bool> = trace.iter().map(|b| b.taken).collect();
+        assert_eq!(dirs, vec![true, false]);
+    }
+
+    #[test]
+    fn div_by_zero_faults_with_pc() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 1);
+        asm.div(R3, R2, Reg::ZERO);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let err = interp.run(&mut CountingSink::new(), 100).unwrap_err();
+        assert_eq!(err, ExecError::DivByZero { pc: 0x1004 });
+    }
+
+    #[test]
+    fn memory_fault_reports_address() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 1_000_000);
+        asm.ld(R3, R2, 0);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 16);
+        let err = interp.run(&mut CountingSink::new(), 100).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::MemOutOfBounds {
+                address: 1_000_000,
+                pc: 0x1004
+            }
+        );
+    }
+
+    #[test]
+    fn negative_address_faults() {
+        let mut asm = Assembler::new();
+        asm.li(R2, -5);
+        asm.st(R2, R2, 0);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 16);
+        assert!(matches!(
+            interp.run(&mut CountingSink::new(), 100),
+            Err(ExecError::MemOutOfBounds { address: -5, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_return_target_faults() {
+        let mut asm = Assembler::new();
+        asm.ret(); // r1 == 0, not a valid code address
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        assert!(matches!(
+            interp.run(&mut CountingSink::new(), 10),
+            Err(ExecError::BadJumpTarget { target: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn falling_off_the_end_faults() {
+        let mut asm = Assembler::new();
+        asm.nop();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        assert_eq!(
+            interp.run(&mut CountingSink::new(), 10),
+            Err(ExecError::PcOutOfRange { index: 1 })
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_resumable() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 0);
+        asm.li(R3, 100);
+        let top = asm.bind_fresh("top");
+        asm.addi(R2, R2, 1);
+        asm.blt(R2, R3, top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let mut sink = CountingSink::new();
+        let out = interp.run(&mut sink, 10).unwrap();
+        assert_eq!(out.stop, StopReason::FuelExhausted);
+        assert_eq!(out.instructions, 10);
+        // Resume to completion.
+        let out = interp.run(&mut sink, 1_000_000).unwrap();
+        assert_eq!(out.stop, StopReason::Halted);
+        assert_eq!(interp.reg(R2), 100);
+        assert_eq!(sink.conditional_branches(), 100);
+    }
+
+    #[test]
+    fn sink_stop_is_honoured() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 0);
+        asm.li(R3, 1_000);
+        let top = asm.bind_fresh("top");
+        asm.addi(R2, R2, 1);
+        asm.blt(R2, R3, top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let mut sink = LimitSink::new(Trace::new(), 25);
+        let out = interp.run(&mut sink, u64::MAX).unwrap();
+        assert_eq!(out.stop, StopReason::SinkStopped);
+        assert_eq!(sink.into_inner().conditional_len(), 25);
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut asm = Assembler::new();
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let mut sink = CountingSink::new();
+        for _ in 0..3 {
+            let out = interp.run(&mut sink, 10).unwrap();
+            assert_eq!(out.stop, StopReason::Halted);
+        }
+    }
+
+    #[test]
+    fn instruction_mix_is_recorded() {
+        let (_, trace) = run_program(|asm| {
+            asm.li(R2, 1); // other
+            asm.add(R3, R2, R2); // int
+            asm.fli(F1, 1.0); // other
+            asm.fadd(F2, F1, F1); // fp
+            asm.li(R4, 0);
+            asm.st(R2, R4, 0); // mem
+            asm.halt(); // other
+        });
+        use tlat_trace::InstClass;
+        let mix = trace.inst_mix();
+        assert_eq!(mix.get(InstClass::IntAlu), 1);
+        assert_eq!(mix.get(InstClass::FpAlu), 1);
+        assert_eq!(mix.get(InstClass::Mem), 1);
+        assert_eq!(mix.get(InstClass::Branch), 0);
+        assert_eq!(mix.get(InstClass::Other), 4);
+    }
+
+    #[test]
+    fn conditional_taken_vs_fallthrough_pc() {
+        let (_, trace) = run_program(|asm| {
+            let t = asm.fresh_label("t");
+            asm.li(R2, 1);
+            asm.beq(R2, R2, t); // index 1, taken, target index 3
+            asm.nop();
+            asm.bind(t);
+            asm.halt();
+        });
+        let b = trace.branches()[0];
+        assert_eq!(b.pc, 0x1004);
+        assert_eq!(b.target, 0x100c);
+        assert!(b.taken);
+        assert_eq!(b.class, BranchClass::Conditional);
+    }
+
+    #[test]
+    fn all_integer_conditions_behave() {
+        for (cond, a, b, expect) in [
+            (Cond::Eq, 1, 1, true),
+            (Cond::Ne, 1, 1, false),
+            (Cond::Lt, -2, 1, true),
+            (Cond::Ge, 1, 1, true),
+            (Cond::Le, 2, 1, false),
+            (Cond::Gt, 2, 1, true),
+        ] {
+            let mut asm = Assembler::new();
+            let t = asm.fresh_label("t");
+            asm.li(R2, a);
+            asm.li(R3, b);
+            asm.bc(cond, R2, R3, t);
+            asm.bind(t);
+            asm.halt();
+            let program = asm.finish().unwrap();
+            let mut trace = Trace::new();
+            Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
+            assert_eq!(trace.branches()[0].taken, expect, "{cond:?}");
+        }
+    }
+
+    #[test]
+    fn fcond_branch_variants() {
+        for (cond, a, b, expect) in [
+            (FCond::Eq, 1.5, 1.5, true),
+            (FCond::Ne, 1.5, 1.5, false),
+            (FCond::Lt, 1.0, 1.5, true),
+            (FCond::Ge, 1.0, 1.5, false),
+        ] {
+            let mut asm = Assembler::new();
+            let t = asm.fresh_label("t");
+            asm.fli(F1, a);
+            asm.fli(F2, b);
+            asm.fbc(cond, F1, F2, t);
+            asm.bind(t);
+            asm.halt();
+            let program = asm.finish().unwrap();
+            let mut trace = Trace::new();
+            Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
+            assert_eq!(trace.branches()[0].taken, expect, "{cond:?}");
+        }
+    }
+
+    #[test]
+    fn with_memory_preloads_image() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 0);
+        asm.ld(R3, R2, 1);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::with_memory(&program, vec![10, 20, 30]);
+        interp.run(&mut CountingSink::new(), 100).unwrap();
+        assert_eq!(interp.reg(R3), 20);
+    }
+}

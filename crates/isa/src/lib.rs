@@ -1,0 +1,68 @@
+//! M88-lite: a small RISC instruction set, assembler and tracing
+//! interpreter.
+//!
+//! The paper drives its branch-prediction study with traces produced by a
+//! Motorola 88100 instruction-level simulator (ISIM) running the SPEC'89
+//! benchmarks. Neither the simulator nor the trace tapes are available, so
+//! this crate provides the closest synthetic equivalent: an
+//! m88k-flavoured load/store ISA with
+//!
+//! * a zero register (`r0`), a link register (`r1`) and 30 general
+//!   registers, plus 32 floating-point registers;
+//! * compare-and-branch conditional branches (direction resolved in
+//!   execute, exactly what a branch predictor must guess);
+//! * the four control-transfer classes of §4 of the paper: conditional
+//!   branches, subroutine returns, immediate unconditional branches and
+//!   register-indirect unconditional branches;
+//! * a label-resolving [`Assembler`] for writing programs from Rust;
+//! * an [`Interpreter`] that executes a [`Program`] against a data memory
+//!   and streams every executed instruction/branch into a
+//!   [`TraceSink`](tlat_trace::TraceSink).
+//!
+//! Because the predictors under study consume only the *branch event
+//! stream* (pc, class, outcome, target), any real program executed by
+//! this interpreter exercises them exactly as an M88100 trace tape would.
+//!
+//! # Examples
+//!
+//! A three-iteration counted loop produces two taken back-edges and one
+//! not-taken exit:
+//!
+//! ```
+//! use tlat_isa::{Assembler, Interpreter, Reg};
+//! use tlat_trace::Trace;
+//!
+//! let mut asm = Assembler::new();
+//! let (r1, r2) = (Reg::new(2), Reg::new(3));
+//! asm.li(r1, 0);
+//! asm.li(r2, 3);
+//! let top = asm.bind_fresh("top");
+//! asm.addi(r1, r1, 1);
+//! asm.blt(r1, r2, top);
+//! asm.halt();
+//! let program = asm.finish()?;
+//!
+//! let mut trace = Trace::new();
+//! let mut interp = Interpreter::new(&program, 0);
+//! interp.run(&mut trace, 1_000)?;
+//! assert_eq!(trace.conditional_len(), 3);
+//! assert_eq!(trace.iter().filter(|b| b.taken).count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod inst;
+mod interp;
+mod parse;
+mod program;
+mod reg;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use inst::{Cond, FCond, Inst};
+pub use interp::{ExecError, Interpreter, RunOutcome, StopReason};
+pub use parse::{parse_program, ParseError};
+pub use program::Program;
+pub use reg::{FReg, Reg};

@@ -1,0 +1,480 @@
+//! A text assembler: parse M88-lite assembly source into a [`Program`].
+//!
+//! The accepted syntax is exactly what [`Program::disassemble`] and the
+//! `Display` impl of [`Inst`](crate::Inst) produce, extended with:
+//!
+//! * symbolic labels (`loop:` definitions, `beq r2, r3, loop` uses) in
+//!   addition to absolute `@index` targets;
+//! * comments from `#` or `;` to end of line;
+//! * blank lines.
+//!
+//! ```text
+//! # count to ten
+//!     li   r2, 0
+//!     li   r3, 10
+//! loop:
+//!     addi r2, r2, 1
+//!     blt  r2, r3, loop
+//!     halt
+//! ```
+//!
+//! Disassembling a program and parsing the result yields the identical
+//! instruction sequence (a property test enforces this).
+
+use crate::asm::Assembler;
+use crate::inst::{Cond, FCond};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct Parser<'a> {
+    asm: Assembler,
+    labels: HashMap<String, crate::asm::Label>,
+    line: usize,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn label(&mut self, name: &str) -> crate::asm::Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.asm.fresh_label(name);
+        self.labels.insert(name.to_owned(), l);
+        l
+    }
+
+    fn reg(&self, token: &str) -> Result<Reg, ParseError> {
+        let index = token
+            .strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| {
+                err(
+                    self.line,
+                    format!("expected integer register, got `{token}`"),
+                )
+            })?;
+        Ok(Reg::new(index))
+    }
+
+    fn freg(&self, token: &str) -> Result<FReg, ParseError> {
+        let index = token
+            .strip_prefix('f')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| err(self.line, format!("expected fp register, got `{token}`")))?;
+        Ok(FReg::new(index))
+    }
+
+    fn imm(&self, token: &str) -> Result<i64, ParseError> {
+        let parsed = if let Some(hex) = token.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16).ok()
+        } else if let Some(hex) = token.strip_prefix("-0x") {
+            i64::from_str_radix(hex, 16).ok().map(|v| -v)
+        } else {
+            token.parse::<i64>().ok()
+        };
+        parsed.ok_or_else(|| {
+            err(
+                self.line,
+                format!("expected integer immediate, got `{token}`"),
+            )
+        })
+    }
+
+    fn fimm(&self, token: &str) -> Result<f64, ParseError> {
+        token.parse::<f64>().map_err(|_| {
+            err(
+                self.line,
+                format!("expected float immediate, got `{token}`"),
+            )
+        })
+    }
+
+    fn shamt(&self, token: &str) -> Result<u8, ParseError> {
+        token.parse::<u8>().ok().filter(|&s| s < 64).ok_or_else(|| {
+            err(
+                self.line,
+                format!("expected shift amount 0..64, got `{token}`"),
+            )
+        })
+    }
+
+    /// Parses a `off(base)` memory operand.
+    fn mem(&self, token: &str) -> Result<(Reg, i64), ParseError> {
+        let open = token
+            .find('(')
+            .ok_or_else(|| err(self.line, format!("expected off(base), got `{token}`")))?;
+        let close = token
+            .strip_suffix(')')
+            .ok_or_else(|| err(self.line, format!("expected off(base), got `{token}`")))?;
+        let off = self.imm(&token[..open])?;
+        let base = self.reg(&close[open + 1..])?;
+        Ok((base, off))
+    }
+
+    fn target(&mut self, token: &str) -> crate::asm::Label {
+        // `@index` targets get a synthetic per-index label so text and
+        // symbolic forms can mix.
+        self.label(token)
+    }
+}
+
+/// Parses M88-lite assembly text into a program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with a 1-based line number) for unknown
+/// mnemonics, malformed operands, or labels that are used but never
+/// defined. `@index` targets must stay within the program.
+///
+/// # Examples
+///
+/// ```
+/// let program = tlat_isa::parse_program(
+///     "top:\n  addi r2, r2, 1\n  blt r2, r3, top\n  halt\n",
+/// )?;
+/// assert_eq!(program.len(), 3);
+/// # Ok::<(), tlat_isa::ParseError>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut p = Parser {
+        asm: Assembler::new(),
+        labels: HashMap::new(),
+        line: 0,
+        text,
+    };
+    let source = p.text;
+
+    // Pre-scan for absolute `@index` targets so their synthetic labels
+    // can be bound when emission reaches those positions.
+    let mut at_positions: Vec<u32> = Vec::new();
+    for token in source.split(|c: char| c.is_whitespace() || c == ',') {
+        if let Some(idx) = token.strip_prefix('@') {
+            if let Ok(idx) = idx.parse::<u32>() {
+                at_positions.push(idx);
+            }
+        }
+    }
+    at_positions.sort_unstable();
+    at_positions.dedup();
+    let bind_at_position = |p: &mut Parser, position: u32| {
+        if at_positions.binary_search(&position).is_ok() {
+            let label = p.label(&format!("@{position}"));
+            p.asm.bind(label);
+        }
+    };
+
+    for (number, raw) in source.lines().enumerate() {
+        p.line = number + 1;
+        let mut line = raw;
+        if let Some(cut) = line.find(['#', ';']) {
+            line = &line[..cut];
+        }
+        let mut rest = line.trim();
+        // Label definitions (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            let label = p.label(name);
+            p.asm.bind(label);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, operand_text) = match rest.find(char::is_whitespace) {
+            Some(i) => (&rest[..i], rest[i..].trim()),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = if operand_text.is_empty() {
+            Vec::new()
+        } else {
+            operand_text.split(',').map(str::trim).collect()
+        };
+        let argc = |want: usize| -> Result<(), ParseError> {
+            if ops.len() == want {
+                Ok(())
+            } else {
+                Err(err(
+                    number + 1,
+                    format!("`{mnemonic}` expects {want} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let here = p.asm.here();
+        bind_at_position(&mut p, here);
+
+        match mnemonic {
+            "li" => {
+                argc(2)?;
+                let (rd, imm) = (p.reg(ops[0])?, p.imm(ops[1])?);
+                p.asm.li(rd, imm);
+            }
+            "mov" => {
+                argc(2)?;
+                let (rd, rs) = (p.reg(ops[0])?, p.reg(ops[1])?);
+                p.asm.mov(rd, rs);
+            }
+            "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "slt" => {
+                argc(3)?;
+                let (rd, a, b) = (p.reg(ops[0])?, p.reg(ops[1])?, p.reg(ops[2])?);
+                match mnemonic {
+                    "add" => p.asm.add(rd, a, b),
+                    "sub" => p.asm.sub(rd, a, b),
+                    "mul" => p.asm.mul(rd, a, b),
+                    "div" => p.asm.div(rd, a, b),
+                    "rem" => p.asm.rem(rd, a, b),
+                    "and" => p.asm.and(rd, a, b),
+                    "or" => p.asm.or(rd, a, b),
+                    "xor" => p.asm.xor(rd, a, b),
+                    _ => p.asm.slt(rd, a, b),
+                }
+            }
+            "addi" | "andi" | "ori" | "xori" | "slti" => {
+                argc(3)?;
+                let (rd, a, imm) = (p.reg(ops[0])?, p.reg(ops[1])?, p.imm(ops[2])?);
+                match mnemonic {
+                    "addi" => p.asm.addi(rd, a, imm),
+                    "andi" => p.asm.andi(rd, a, imm),
+                    "ori" => p.asm.ori(rd, a, imm),
+                    "xori" => p.asm.xori(rd, a, imm),
+                    _ => p.asm.slti(rd, a, imm),
+                }
+            }
+            "slli" | "srli" | "srai" => {
+                argc(3)?;
+                let (rd, a, s) = (p.reg(ops[0])?, p.reg(ops[1])?, p.shamt(ops[2])?);
+                match mnemonic {
+                    "slli" => p.asm.slli(rd, a, s),
+                    "srli" => p.asm.srli(rd, a, s),
+                    _ => p.asm.srai(rd, a, s),
+                }
+            }
+            "ld" | "st" => {
+                argc(2)?;
+                let r = p.reg(ops[0])?;
+                let (base, off) = p.mem(ops[1])?;
+                if mnemonic == "ld" {
+                    p.asm.ld(r, base, off);
+                } else {
+                    p.asm.st(r, base, off);
+                }
+            }
+            "fld" | "fst" => {
+                argc(2)?;
+                let r = p.freg(ops[0])?;
+                let (base, off) = p.mem(ops[1])?;
+                if mnemonic == "fld" {
+                    p.asm.fld(r, base, off);
+                } else {
+                    p.asm.fst(r, base, off);
+                }
+            }
+            "fli" => {
+                argc(2)?;
+                let (fd, imm) = (p.freg(ops[0])?, p.fimm(ops[1])?);
+                p.asm.fli(fd, imm);
+            }
+            "fmov" | "fneg" | "fabs" | "fsqrt" => {
+                argc(2)?;
+                let (fd, fs) = (p.freg(ops[0])?, p.freg(ops[1])?);
+                match mnemonic {
+                    "fmov" => p.asm.fmov(fd, fs),
+                    "fneg" => p.asm.fneg(fd, fs),
+                    "fabs" => p.asm.fabs(fd, fs),
+                    _ => p.asm.fsqrt(fd, fs),
+                }
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" => {
+                argc(3)?;
+                let (fd, a, b) = (p.freg(ops[0])?, p.freg(ops[1])?, p.freg(ops[2])?);
+                match mnemonic {
+                    "fadd" => p.asm.fadd(fd, a, b),
+                    "fsub" => p.asm.fsub(fd, a, b),
+                    "fmul" => p.asm.fmul(fd, a, b),
+                    _ => p.asm.fdiv(fd, a, b),
+                }
+            }
+            "itof" => {
+                argc(2)?;
+                let (fd, rs) = (p.freg(ops[0])?, p.reg(ops[1])?);
+                p.asm.itof(fd, rs);
+            }
+            "ftoi" => {
+                argc(2)?;
+                let (rd, fs) = (p.reg(ops[0])?, p.freg(ops[1])?);
+                p.asm.ftoi(rd, fs);
+            }
+            m if m.starts_with('b') && Cond::from_mnemonic(&m[1..]).is_some() => {
+                argc(3)?;
+                let cond = Cond::from_mnemonic(&m[1..]).expect("checked");
+                let (a, b) = (p.reg(ops[0])?, p.reg(ops[1])?);
+                let target = p.target(ops[2]);
+                p.asm.bc(cond, a, b, target);
+            }
+            m if m.starts_with("fb") && FCond::from_mnemonic(&m[2..]).is_some() => {
+                argc(3)?;
+                let cond = FCond::from_mnemonic(&m[2..]).expect("checked");
+                let (a, b) = (p.freg(ops[0])?, p.freg(ops[1])?);
+                let target = p.target(ops[2]);
+                p.asm.fbc(cond, a, b, target);
+            }
+            "br" => {
+                argc(1)?;
+                let target = p.target(ops[0]);
+                p.asm.br(target);
+            }
+            "call" => {
+                argc(1)?;
+                let target = p.target(ops[0]);
+                p.asm.call(target);
+            }
+            "jmp" => {
+                argc(1)?;
+                p.asm.jmp(p.reg(ops[0])?);
+            }
+            "callr" => {
+                argc(1)?;
+                p.asm.callr(p.reg(ops[0])?);
+            }
+            "ret" => {
+                argc(0)?;
+                p.asm.ret();
+            }
+            "nop" => {
+                argc(0)?;
+                p.asm.nop();
+            }
+            "halt" => {
+                argc(0)?;
+                p.asm.halt();
+            }
+            other => return Err(err(number + 1, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    p.asm
+        .finish()
+        .map_err(|e| err(0, format!("link error: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use tlat_trace::Trace;
+
+    #[test]
+    fn parses_and_runs_a_counted_loop() {
+        let program = parse_program(
+            "# count to ten\n\
+             \x20 li r2, 0\n\
+             \x20 li r3, 10\n\
+             top:\n\
+             \x20 addi r2, r2, 1\n\
+             \x20 blt r2, r3, top\n\
+             \x20 halt\n",
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        interp.run(&mut Trace::new(), 10_000).unwrap();
+        assert_eq!(interp.reg(Reg::new(2)), 10);
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let program = parse_program("ld r2, 3(r4)\nst r2, -1(r4)\nfld f1, 0(r2)\nhalt\n").unwrap();
+        assert_eq!(program.len(), 4);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let program = parse_program("\n# full line\n  nop ; trailing\n\n  halt # done\n").unwrap();
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse_program("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let e = parse_program("li r32, 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("register"));
+    }
+
+    #[test]
+    fn wrong_arity_reports_line() {
+        let e = parse_program("add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn undefined_label_is_a_link_error() {
+        let e = parse_program("br nowhere\n").unwrap_err();
+        assert!(e.message.contains("link error"), "{e}");
+    }
+
+    #[test]
+    fn hex_immediates_parse() {
+        let program = parse_program("li r2, 0x10\nli r3, -0x10\nhalt\n").unwrap();
+        use crate::inst::Inst;
+        assert_eq!(program.insts()[0], Inst::Li(Reg::new(2), 16));
+        assert_eq!(program.insts()[1], Inst::Li(Reg::new(3), -16));
+    }
+
+    #[test]
+    fn call_and_ret_parse() {
+        let program = parse_program("  call f\n  halt\nf:\n  li r2, 1\n  ret\n").unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        interp.run(&mut Trace::new(), 100).unwrap();
+        assert_eq!(interp.reg(Reg::new(2)), 1);
+    }
+
+    #[test]
+    fn fp_branches_parse() {
+        let program = parse_program(
+            "  fli f1, 1.5\n  fli f2, 2.5\n  fblt f1, f2, done\n  nop\ndone:\n  halt\n",
+        )
+        .unwrap();
+        let mut trace = Trace::new();
+        Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
+        assert!(trace.branches()[0].taken);
+    }
+}

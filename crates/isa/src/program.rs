@@ -1,0 +1,137 @@
+//! Assembled programs.
+
+use crate::inst::Inst;
+
+/// Base byte address at which programs are loaded.
+pub(crate) const BASE_ADDRESS: u32 = 0x1000;
+
+/// Bytes per instruction (fixed-width encoding, as on the M88100).
+pub(crate) const INST_BYTES: u32 = 4;
+
+/// An assembled, label-resolved M88-lite program.
+///
+/// Produced by [`Assembler::finish`](crate::Assembler::finish); execution
+/// starts at instruction index 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    pub(crate) fn from_insts(insts: Vec<Inst>) -> Self {
+        Program { insts }
+    }
+
+    /// The instructions, in layout order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Byte address of the instruction at `index`.
+    ///
+    /// Instruction addresses are what branch predictors index their
+    /// tables with, so they follow the usual 4-byte-aligned layout
+    /// starting at a non-zero base.
+    pub fn address_of(&self, index: u32) -> u32 {
+        BASE_ADDRESS + index * INST_BYTES
+    }
+
+    /// Inverse of [`Program::address_of`]; `None` when the address is
+    /// unaligned or out of range.
+    pub fn index_of(&self, address: u32) -> Option<u32> {
+        let off = address.checked_sub(BASE_ADDRESS)?;
+        if off % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = off / INST_BYTES;
+        ((idx as usize) < self.insts.len()).then_some(idx)
+    }
+
+    /// A simple textual disassembly (one instruction per line, prefixed
+    /// with its byte address).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{:#07x}: {}", self.address_of(i as u32), inst);
+        }
+        out
+    }
+
+    /// Disassembly without address prefixes — text that
+    /// [`parse_program`](crate::parse_program) accepts and round-trips
+    /// to the identical instruction sequence.
+    pub fn disassemble_plain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for inst in &self.insts {
+            let _ = writeln!(out, "    {inst}");
+        }
+        out
+    }
+
+    /// Count of static conditional-branch instructions in the program.
+    pub fn static_conditional_branches(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bc(..) | Inst::Fbc(..)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let r = Reg::new(2);
+        Program::from_insts(vec![
+            Inst::Li(r, 1),
+            Inst::Bc(Cond::Eq, r, r, 0),
+            Inst::Halt,
+        ])
+    }
+
+    #[test]
+    fn addressing_roundtrip() {
+        let p = sample();
+        assert_eq!(p.address_of(0), 0x1000);
+        assert_eq!(p.address_of(2), 0x1008);
+        assert_eq!(p.index_of(0x1008), Some(2));
+        assert_eq!(p.index_of(0x1009), None); // unaligned
+        assert_eq!(p.index_of(0x100c), None); // past the end
+        assert_eq!(p.index_of(0x0fff), None); // below base
+    }
+
+    #[test]
+    fn static_branch_count() {
+        assert_eq!(sample().static_conditional_branches(), 1);
+        assert_eq!(Program::from_insts(vec![]).static_conditional_branches(), 0);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let text = sample().disassemble();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 3);
+        assert!(!sample().is_empty());
+        assert!(Program::from_insts(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Register names.
+
+use std::fmt;
+
+/// An integer register, `r0`–`r31`.
+///
+/// `r0` is hardwired to zero (writes are discarded), as on the M88100.
+/// By convention `r1` is the link register written by call instructions
+/// and read by returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The link register written by `call`/`callr` and read by `ret`.
+    pub const LINK: Reg = Reg(1);
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index, 0–31.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the hardwired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register, `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Number of floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a floating-point register by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "fp register index out of range");
+        FReg(index)
+    }
+
+    /// The register's index, 0–31.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Reg::new(5).index(), 5);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::LINK.is_zero());
+        assert_eq!(FReg::new(31).index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn out_of_range_reg_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp register index")]
+    fn out_of_range_freg_panics() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(FReg::new(3).to_string(), "f3");
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for the assembler and interpreter.
+
+use proptest::prelude::*;
+use tlat_isa::{Assembler, Cond, Interpreter, Reg, StopReason};
+use tlat_trace::{CountingSink, Trace};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Straight-line integer ALU programs never fault and never branch.
+fn arb_alu_inst() -> impl Strategy<Value = (u8, u8, u8, i64)> {
+    (
+        0u8..12, // opcode selector
+        2u8..16, // rd
+        2u8..16, // rs
+        -100i64..100,
+    )
+}
+
+proptest! {
+    #[test]
+    fn straight_line_alu_programs_run_clean(
+        insts in prop::collection::vec(arb_alu_inst(), 1..100),
+    ) {
+        let mut asm = Assembler::new();
+        for (op, rd, rs, imm) in &insts {
+            let (rd, rs, imm) = (r(*rd), r(*rs), *imm);
+            match op % 12 {
+                0 => asm.li(rd, imm),
+                1 => asm.mov(rd, rs),
+                2 => asm.add(rd, rd, rs),
+                3 => asm.addi(rd, rs, imm),
+                4 => asm.sub(rd, rd, rs),
+                5 => asm.mul(rd, rd, rs),
+                6 => asm.and(rd, rd, rs),
+                7 => asm.or(rd, rd, rs),
+                8 => asm.xor(rd, rd, rs),
+                9 => asm.slli(rd, rs, (imm.unsigned_abs() % 63) as u8),
+                10 => asm.slt(rd, rd, rs),
+                _ => asm.srai(rd, rs, (imm.unsigned_abs() % 63) as u8),
+            }
+        }
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let mut sink = CountingSink::new();
+        let out = interp.run(&mut sink, 10_000).unwrap();
+        prop_assert_eq!(out.stop, StopReason::Halted);
+        prop_assert_eq!(out.instructions, insts.len() as u64 + 1);
+        prop_assert_eq!(sink.conditional_branches(), 0);
+        // The zero register is never clobbered (rd >= 2 here, but the
+        // invariant must hold regardless).
+        prop_assert_eq!(interp.reg(Reg::ZERO), 0);
+    }
+
+    /// A counted loop executes its body exactly `n` times and emits
+    /// exactly `n` conditional branches, `n-1` taken.
+    #[test]
+    fn counted_loops_have_exact_trip_counts(n in 1i64..200) {
+        let mut asm = Assembler::new();
+        asm.li(r(2), 0);
+        asm.li(r(3), n);
+        let top = asm.bind_fresh("top");
+        asm.addi(r(2), r(2), 1);
+        asm.blt(r(2), r(3), top);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 0);
+        let mut trace = Trace::new();
+        interp.run(&mut trace, u64::MAX).unwrap();
+        prop_assert_eq!(interp.reg(r(2)), n);
+        prop_assert_eq!(trace.conditional_len(), n as u64);
+        let taken = trace.iter().filter(|b| b.taken).count() as i64;
+        prop_assert_eq!(taken, n - 1);
+    }
+
+    /// Conditional branches evaluate exactly like the Rust comparison.
+    #[test]
+    fn branch_conditions_match_rust_semantics(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        cond_pick in 0usize..6,
+    ) {
+        let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt][cond_pick];
+        let expected = match cond {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        };
+        let mut asm = Assembler::new();
+        let t = asm.fresh_label("t");
+        asm.li(r(2), a);
+        asm.li(r(3), b);
+        asm.bc(cond, r(2), r(3), t);
+        asm.bind(t);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut trace = Trace::new();
+        Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
+        prop_assert_eq!(trace.branches()[0].taken, expected);
+    }
+
+    /// Memory loads read back exactly what stores wrote, at any
+    /// in-bounds address.
+    #[test]
+    fn store_load_roundtrip(addr in 0i64..64, value in any::<i64>()) {
+        let mut asm = Assembler::new();
+        asm.li(r(2), addr);
+        asm.li(r(3), value);
+        asm.st(r(3), r(2), 0);
+        asm.ld(r(4), r(2), 0);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 64);
+        interp.run(&mut CountingSink::new(), 100).unwrap();
+        prop_assert_eq!(interp.reg(r(4)), value);
+    }
+
+    /// Nested calls return in LIFO order through the link register and
+    /// an explicit spill, whatever the nesting depth.
+    #[test]
+    fn nested_calls_return_correctly(depth in 1usize..40) {
+        // f_k increments r2 then calls f_{k+1}; the innermost returns.
+        // Each frame spills the link register to memory.
+        let sp = r(30);
+        let mut asm = Assembler::new();
+        let funcs: Vec<_> = (0..depth).map(|_| asm.fresh_label("f")).collect();
+        asm.li(sp, 0);
+        asm.li(r(2), 0);
+        asm.call(funcs[0]);
+        asm.halt();
+        for (k, &f) in funcs.iter().enumerate() {
+            asm.bind(f);
+            asm.addi(r(2), r(2), 1);
+            if k + 1 < depth {
+                asm.st(Reg::LINK, sp, 0);
+                asm.addi(sp, sp, 1);
+                asm.call(funcs[k + 1]);
+                asm.addi(sp, sp, -1);
+                asm.ld(Reg::LINK, sp, 0);
+            }
+            asm.ret();
+        }
+        let program = asm.finish().unwrap();
+        let mut interp = Interpreter::new(&program, 64);
+        let mut trace = Trace::new();
+        let out = interp.run(&mut trace, 100_000).unwrap();
+        prop_assert_eq!(out.stop, StopReason::Halted);
+        prop_assert_eq!(interp.reg(r(2)), depth as i64);
+        // Calls and returns balance.
+        let calls = trace.iter().filter(|b| b.call).count();
+        let rets = trace
+            .iter()
+            .filter(|b| b.class == tlat_trace::BranchClass::Return)
+            .count();
+        prop_assert_eq!(calls, depth);
+        prop_assert_eq!(rets, depth);
+    }
+}
+
+/// Generates a random but well-formed program, disassembles it, parses
+/// the text back, and requires instruction-level identity.
+mod roundtrip {
+    use proptest::prelude::*;
+    use tlat_isa::{parse_program, Assembler, Cond, FCond, FReg, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i % 32)
+    }
+
+    fn f(i: u8) -> FReg {
+        FReg::new(i % 32)
+    }
+
+    proptest! {
+        #[test]
+        fn disassemble_parse_roundtrip(
+            picks in prop::collection::vec((0u8..30, any::<u8>(), any::<u8>(), -100i64..100), 1..60),
+        ) {
+            let mut asm = Assembler::new();
+            // One shared label bound at the start keeps every branch
+            // target valid.
+            let top = asm.bind_fresh("top");
+            for &(op, a, b, imm) in &picks {
+                let (ra, rb) = (r(a), r(b));
+                let (fa, fb) = (f(a), f(b));
+                match op {
+                    0 => asm.li(ra, imm),
+                    1 => asm.mov(ra, rb),
+                    2 => asm.add(ra, rb, r(a ^ b)),
+                    3 => asm.addi(ra, rb, imm),
+                    4 => asm.sub(ra, rb, r(a ^ b)),
+                    5 => asm.mul(ra, rb, r(a ^ b)),
+                    6 => asm.and(ra, rb, r(a ^ b)),
+                    7 => asm.or(ra, rb, r(a ^ b)),
+                    8 => asm.xor(ra, rb, r(a ^ b)),
+                    9 => asm.andi(ra, rb, imm),
+                    10 => asm.ori(ra, rb, imm),
+                    11 => asm.xori(ra, rb, imm),
+                    12 => asm.slli(ra, rb, (imm.unsigned_abs() % 64) as u8),
+                    13 => asm.srli(ra, rb, (imm.unsigned_abs() % 64) as u8),
+                    14 => asm.srai(ra, rb, (imm.unsigned_abs() % 64) as u8),
+                    15 => asm.slt(ra, rb, r(a ^ b)),
+                    16 => asm.slti(ra, rb, imm),
+                    17 => asm.ld(ra, rb, imm),
+                    18 => asm.st(ra, rb, imm),
+                    19 => asm.fld(fa, rb, imm),
+                    20 => asm.fst(fa, rb, imm),
+                    21 => asm.fli(fa, imm as f64 * 0.5),
+                    22 => asm.fmov(fa, fb),
+                    23 => asm.fadd(fa, fb, f(a ^ b)),
+                    24 => asm.fmul(fa, fb, f(a ^ b)),
+                    25 => asm.bc(Cond::Lt, ra, rb, top),
+                    26 => asm.fbc(FCond::Ge, fa, fb, top),
+                    27 => asm.br(top),
+                    28 => asm.call(top),
+                    _ => asm.nop(),
+                }
+            }
+            asm.halt();
+            let program = asm.finish().unwrap();
+            let text = program.disassemble_plain();
+            let reparsed = parse_program(&text).unwrap();
+            prop_assert_eq!(program.insts(), reparsed.insts());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Per-site prediction diagnostics.
+//!
+//! The aggregate accuracy numbers of the paper's figures hide *where* a
+//! scheme loses. This module re-runs a predictor over a trace while
+//! attributing every prediction to its static branch site, then reports
+//! the sites responsible for the most mispredictions — the view an
+//! architect uses to understand a predictor's failure modes.
+
+use std::collections::HashMap;
+use tlat_core::Predictor;
+use tlat_trace::{BranchClass, Trace};
+
+/// Accuracy accounting for one static branch site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The branch's address.
+    pub pc: u32,
+    /// Dynamic executions.
+    pub executions: u64,
+    /// Correct predictions.
+    pub correct: u64,
+    /// Taken outcomes.
+    pub taken: u64,
+}
+
+impl SiteStats {
+    /// This site's prediction accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.executions == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.executions as f64
+        }
+    }
+
+    /// Mispredictions charged to this site.
+    pub fn misses(&self) -> u64 {
+        self.executions - self.correct
+    }
+
+    /// The site's taken rate (its bias).
+    pub fn taken_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.executions as f64
+        }
+    }
+}
+
+/// Simulates `predictor` over `trace` and returns per-site statistics,
+/// sorted by misses (worst first).
+pub fn per_site(predictor: &mut dyn Predictor, trace: &Trace) -> Vec<SiteStats> {
+    let mut sites: HashMap<u32, SiteStats> = HashMap::new();
+    for branch in trace.iter() {
+        if branch.class != BranchClass::Conditional {
+            continue;
+        }
+        let guess = predictor.predict(branch);
+        predictor.update(branch);
+        let entry = sites.entry(branch.pc).or_insert(SiteStats {
+            pc: branch.pc,
+            executions: 0,
+            correct: 0,
+            taken: 0,
+        });
+        entry.executions += 1;
+        entry.correct += (guess == branch.taken) as u64;
+        entry.taken += branch.taken as u64;
+    }
+    let mut out: Vec<SiteStats> = sites.into_values().collect();
+    out.sort_by(|a, b| b.misses().cmp(&a.misses()).then(a.pc.cmp(&b.pc)));
+    out
+}
+
+/// Renders the `n` worst sites as a text table with a concentration
+/// summary (what fraction of all misses the top sites account for).
+pub fn worst_sites_report(predictor: &mut dyn Predictor, trace: &Trace, n: usize) -> String {
+    use std::fmt::Write;
+    let sites = per_site(predictor, trace);
+    let total_misses: u64 = sites.iter().map(|s| s.misses()).sum();
+    let total_execs: u64 = sites.iter().map(|s| s.executions).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "worst {} of {} sites ({} mispredictions over {} conditional branches):",
+        n.min(sites.len()),
+        sites.len(),
+        total_misses,
+        total_execs
+    );
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>8}  {:>8}  {:>8}",
+        "pc", "execs", "acc%", "taken%", "misses"
+    );
+    let mut top_misses = 0;
+    for s in sites.iter().take(n) {
+        top_misses += s.misses();
+        let _ = writeln!(
+            out,
+            "{:#10x}  {:>10}  {:>8.2}  {:>8.2}  {:>8}",
+            s.pc,
+            s.executions,
+            s.accuracy() * 100.0,
+            s.taken_rate() * 100.0,
+            s.misses()
+        );
+    }
+    if total_misses > 0 {
+        let _ = writeln!(
+            out,
+            "top {} sites account for {:.1} % of all misses",
+            n.min(sites.len()),
+            top_misses as f64 / total_misses as f64 * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlat_core::{AlwaysTaken, TwoLevelAdaptive, TwoLevelConfig};
+    use tlat_trace::BranchRecord;
+
+    fn two_site_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.push(BranchRecord::conditional(0x1000, 0x800, true)); // easy
+            t.push(BranchRecord::conditional(0x2000, 0x800, i % 2 == 0)); // alternating
+        }
+        t
+    }
+
+    #[test]
+    fn per_site_attributes_misses_correctly() {
+        let trace = two_site_trace();
+        let sites = per_site(&mut AlwaysTaken, &trace);
+        assert_eq!(sites.len(), 2);
+        // Worst first: the alternating site misses 50 times.
+        assert_eq!(sites[0].pc, 0x2000);
+        assert_eq!(sites[0].misses(), 50);
+        assert_eq!(sites[1].pc, 0x1000);
+        assert_eq!(sites[1].misses(), 0);
+        assert!((sites[1].accuracy() - 1.0).abs() < 1e-12);
+        assert!((sites[0].taken_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_are_consistent_with_engine_accuracy() {
+        let trace = two_site_trace();
+        let mut p1 = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+        let sites = per_site(&mut p1, &trace);
+        let correct: u64 = sites.iter().map(|s| s.correct).sum();
+        let execs: u64 = sites.iter().map(|s| s.executions).sum();
+        let mut p2 = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+        let engine = crate::engine::simulate(&mut p2, &trace);
+        assert_eq!(execs, engine.conditional.predicted);
+        assert_eq!(correct, engine.conditional.correct);
+    }
+
+    #[test]
+    fn report_renders_and_summarizes() {
+        let trace = two_site_trace();
+        let report = worst_sites_report(&mut AlwaysTaken, &trace, 1);
+        assert!(report.contains("0x2000"));
+        assert!(report.contains("100.0 % of all misses"));
+    }
+
+    #[test]
+    fn non_conditional_branches_are_ignored() {
+        let mut trace = Trace::new();
+        trace.push(BranchRecord::subroutine_return(0x3000, 0x1000));
+        let sites = per_site(&mut AlwaysTaken, &trace);
+        assert!(sites.is_empty());
+    }
+}
+
+/// Splits the conditional branches of `trace` into consecutive windows
+/// of `window` branches and returns each window's prediction accuracy
+/// in order (the final partial window is included when at least a tenth
+/// of `window`).
+///
+/// Warmup shows up as lower accuracy in the first windows; the paper's
+/// steady-state numbers correspond to the tail of this curve.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn windowed_accuracy(predictor: &mut dyn Predictor, trace: &Trace, window: u64) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let mut out = Vec::new();
+    let mut seen = 0u64;
+    let mut correct = 0u64;
+    for branch in trace.iter() {
+        if branch.class != BranchClass::Conditional {
+            continue;
+        }
+        let guess = predictor.predict(branch);
+        predictor.update(branch);
+        seen += 1;
+        correct += (guess == branch.taken) as u64;
+        if seen == window {
+            out.push(correct as f64 / window as f64);
+            seen = 0;
+            correct = 0;
+        }
+    }
+    if seen >= window.div_ceil(10) {
+        out.push(correct as f64 / seen as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use tlat_core::{AlwaysTaken, TwoLevelAdaptive, TwoLevelConfig};
+    use tlat_trace::BranchRecord;
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace: Trace = (0..95)
+            .map(|i| BranchRecord::conditional(0x1000, 0x800, i % 2 == 0))
+            .collect();
+        let windows = windowed_accuracy(&mut AlwaysTaken, &trace, 10);
+        // 9 full windows + a 5-branch partial (>= 1 tenth of 10).
+        assert_eq!(windows.len(), 10);
+        for w in &windows[..9] {
+            assert!((0.4..=0.6).contains(w), "window accuracy {w}");
+        }
+    }
+
+    #[test]
+    fn warmup_shows_in_early_windows() {
+        // A learnable periodic pattern: the first window (cold tables)
+        // scores below the last (fully trained).
+        let trace: Trace = (0..4000)
+            .map(|i| BranchRecord::conditional(0x1000, 0x800, i % 7 != 6))
+            .collect();
+        let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+        let windows = windowed_accuracy(&mut p, &trace, 500);
+        assert!(windows.last().unwrap() > &0.99);
+        assert!(windows.first().unwrap() < windows.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        windowed_accuracy(&mut AlwaysTaken, &Trace::new(), 0);
+    }
+}

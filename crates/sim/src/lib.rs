@@ -1,0 +1,50 @@
+//! Trace-driven simulation harness for the Two-Level Adaptive Training
+//! reproduction.
+//!
+//! This crate ties the predictors (`tlat-core`) to the workloads
+//! (`tlat-workloads`) and reproduces every table and figure of the
+//! paper's evaluation:
+//!
+//! * [`simulate`] — drive one predictor over one trace, collecting
+//!   conditional-branch accuracy and return-address-stack statistics.
+//! * [`SchemeConfig`] / [`table2`] — the paper's Table 2 configuration
+//!   registry, in its naming convention.
+//! * [`Harness`] — one method per table/figure: [`Harness::table1`],
+//!   [`Harness::figure3`] … [`Harness::figure10`], each returning a
+//!   [`Report`] whose rows mirror the published series.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tlat_sim::Harness;
+//!
+//! let harness = Harness::new(100_000);
+//! println!("{}", harness.figure10());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+mod delayed;
+mod diagnostics;
+mod engine;
+mod experiment;
+mod fetch;
+mod metrics;
+mod report;
+mod timing;
+mod traces;
+
+pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
+pub use cost::PipelineModel;
+pub use delayed::{simulate_delayed, DelayOptions, DelayStats, DelayedResult};
+pub use diagnostics::{per_site, windowed_accuracy, worst_sites_report, SiteStats};
+pub use engine::{simulate, simulate_with, SimOptions};
+pub use experiment::Harness;
+pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
+pub use metrics::{PredictionStats, SimResult};
+pub use report::{Report, ReportRow};
+pub use timing::{simulate_timing, TimingModel, TimingResult};
+pub use traces::{branch_limit_from_env, TraceStore, DEFAULT_BRANCH_LIMIT};

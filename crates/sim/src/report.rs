@@ -1,0 +1,227 @@
+//! Text rendering of experiment results.
+
+use std::fmt;
+
+/// One row of a report: a labelled series of percentage values
+/// (`None` = not applicable, rendered as `—`, mirroring the paper's
+/// incomplete Diff-training data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Row label (scheme configuration string or benchmark name).
+    pub label: String,
+    /// One value per column, as a fraction in `[0, 1]`.
+    pub values: Vec<Option<f64>>,
+}
+
+/// A rendered experiment: the data behind one of the paper's tables or
+/// figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Title, e.g. `"Figure 5: effect of state transition automata"`.
+    pub title: String,
+    /// Column headings.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<ReportRow>,
+    /// Optional footnote (paper-reference numbers, caveats).
+    pub notes: Vec<String>,
+    /// When `true` (the default) values are fractions rendered as
+    /// percentages; when `false` they are raw numbers (used by Table 1
+    /// counts).
+    pub percent: bool,
+}
+
+impl Report {
+    /// Creates an empty report with percentage formatting.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Report {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+            percent: true,
+        }
+    }
+
+    /// Creates an empty report with raw-number formatting.
+    pub fn new_raw(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Report {
+            percent: false,
+            ..Report::new(title, columns)
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(ReportRow {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Appends a footnote.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == row)
+            .and_then(|r| r.values[c])
+    }
+}
+
+fn fmt_cell(v: Option<f64>, width: usize, percent: bool) -> String {
+    match v {
+        Some(v) if percent => format!("{:>width$.2}", v * 100.0),
+        Some(v) => format!("{:>width$.0}", v),
+        None => format!("{:>width$}", "—"),
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+
+        writeln!(f, "=== {} ===", self.title)?;
+        write!(f, "{:<label_width$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        let total = label_width + self.columns.len() * (col_width + 2);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write!(f, "{:<label_width$}", row.label)?;
+            for v in &row.values {
+                write!(f, "  {}", fmt_cell(*v, col_width, self.percent))?;
+            }
+            writeln!(f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Test", vec!["a".into(), "b".into()]);
+        r.push_row("row1", vec![Some(0.97), None]);
+        r.push_note("paper reports ~97");
+        r
+    }
+
+    #[test]
+    fn renders_title_rows_and_notes() {
+        let text = sample().to_string();
+        assert!(text.contains("=== Test ==="));
+        assert!(text.contains("row1"));
+        assert!(text.contains("97.00"));
+        assert!(text.contains("—"));
+        assert!(text.contains("paper reports"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let r = sample();
+        assert_eq!(r.cell("row1", "a"), Some(0.97));
+        assert_eq!(r.cell("row1", "b"), None);
+        assert_eq!(r.cell("nope", "a"), None);
+        assert_eq!(r.cell("row1", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("t", vec!["a".into()]);
+        r.push_row("x", vec![Some(0.5), Some(0.5)]);
+    }
+}
+
+impl Report {
+    /// Renders the report as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| |");
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "| `{}` |", row.label);
+            for v in &row.values {
+                let cell = match v {
+                    Some(v) if self.percent => format!("{:.2}", v * 100.0),
+                    Some(v) => format!("{v:.0}"),
+                    None => "—".to_owned(),
+                };
+                let _ = write!(out, " {cell} |");
+            }
+            let _ = writeln!(out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n> {note}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_rows_and_notes() {
+        let mut r = Report::new("Title", vec!["x".into(), "y".into()]);
+        r.push_row("row", vec![Some(0.5), None]);
+        r.push_note("a note");
+        let md = r.to_markdown();
+        assert!(md.contains("### Title"));
+        assert!(md.contains("| `row` | 50.00 | — |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn raw_reports_render_integers() {
+        let mut r = Report::new_raw("Counts", vec!["n".into()]);
+        r.push_row("thing", vec![Some(277.0)]);
+        assert!(r.to_markdown().contains("| `thing` | 277 |"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared trace store.
+//!
+//! Generating a trace (assembling and interpreting a workload) costs far
+//! more than simulating a predictor over it, so the experiment harness
+//! generates each workload's traces once and shares them across every
+//! configuration.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tlat_trace::Trace;
+use tlat_workloads::Workload;
+
+/// Default conditional-branch budget per benchmark.
+///
+/// The paper simulates twenty million conditional branches per
+/// benchmark; accuracy orderings stabilize long before that, so the
+/// harness defaults lower and can be raised with the
+/// `TLAT_BRANCH_LIMIT` environment variable.
+pub const DEFAULT_BRANCH_LIMIT: u64 = 500_000;
+
+/// Reads the conditional-branch budget from `TLAT_BRANCH_LIMIT`,
+/// falling back to [`DEFAULT_BRANCH_LIMIT`].
+pub fn branch_limit_from_env() -> u64 {
+    std::env::var("TLAT_BRANCH_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BRANCH_LIMIT)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Which {
+    Test,
+    Train,
+}
+
+/// A lazy, memoizing store of workload traces.
+#[derive(Debug)]
+pub struct TraceStore {
+    budget: u64,
+    cache: Mutex<HashMap<(String, Which), Arc<Trace>>>,
+}
+
+impl TraceStore {
+    /// Creates a store generating up to `budget` conditional branches
+    /// per trace.
+    pub fn new(budget: u64) -> Self {
+        TraceStore {
+            budget,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a store with the environment-configured budget.
+    pub fn from_env() -> Self {
+        TraceStore::new(branch_limit_from_env())
+    }
+
+    /// The per-trace conditional-branch budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The test trace for `workload`, generating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload program faults (a workload bug).
+    pub fn test(&self, workload: &Workload) -> Arc<Trace> {
+        self.get(workload, Which::Test)
+    }
+
+    /// The training trace for `workload` (Table 3), or `None` when the
+    /// paper lists no distinct training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload program faults (a workload bug).
+    pub fn train(&self, workload: &Workload) -> Option<Arc<Trace>> {
+        workload.train_input()?;
+        Some(self.get(workload, Which::Train))
+    }
+
+    fn get(&self, workload: &Workload, which: Which) -> Arc<Trace> {
+        let key = (workload.name.to_owned(), which);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock so distinct workloads build in
+        // parallel; a duplicate generation race is benign (identical
+        // traces, last write wins).
+        let trace = match which {
+            Which::Test => workload.trace_test(self.budget),
+            Which::Train => workload
+                .trace_train(self.budget)
+                .map(|t| t.expect("caller checked train_input")),
+        }
+        .unwrap_or_else(|e| panic!("workload {} faulted: {e}", workload.name));
+        let trace = Arc::new(trace);
+        self.cache.lock().insert(key, Arc::clone(&trace));
+        trace
+    }
+
+    /// Pre-generates every trace for `workloads` in parallel.
+    pub fn prewarm(&self, workloads: &[Workload]) {
+        crossbeam::thread::scope(|scope| {
+            for w in workloads {
+                scope.spawn(move |_| {
+                    self.test(w);
+                    self.train(w);
+                });
+            }
+        })
+        .expect("trace generation thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlat_workloads::by_name;
+
+    #[test]
+    fn traces_are_cached() {
+        let store = TraceStore::new(2_000);
+        let w = by_name("eqntott").unwrap();
+        let a = store.test(&w);
+        let b = store.test(&w);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.conditional_len(), 2_000);
+    }
+
+    #[test]
+    fn train_respects_table3() {
+        let store = TraceStore::new(1_000);
+        assert!(store.train(&by_name("eqntott").unwrap()).is_none());
+        assert!(store.train(&by_name("espresso").unwrap()).is_some());
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Do not mutate the process environment (tests run in
+        // parallel); just exercise the default path.
+        assert!(branch_limit_from_env() > 0);
+    }
+
+    #[test]
+    fn prewarm_generates_in_parallel() {
+        let store = TraceStore::new(500);
+        let workloads = vec![by_name("eqntott").unwrap(), by_name("espresso").unwrap()];
+        store.prewarm(&workloads);
+        assert_eq!(store.cache.lock().len(), 3); // 2 test + 1 train
+    }
+}

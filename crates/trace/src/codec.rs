@@ -1,0 +1,377 @@
+//! Compact binary serialization of traces.
+//!
+//! Trace generation (running the ISA interpreter over a workload) is much
+//! more expensive than prediction, so the experiment harness caches traces
+//! on disk between runs. The format is a small fixed header followed by
+//! nine bytes per branch record.
+//!
+//! # Examples
+//!
+//! ```
+//! use tlat_trace::{codec, BranchRecord, Trace};
+//!
+//! let mut t = Trace::new();
+//! t.push(BranchRecord::conditional(0x40, 0x10, true));
+//! let bytes = codec::encode(&t);
+//! let back = codec::decode(&bytes)?;
+//! assert_eq!(t, back);
+//! # Ok::<(), codec::DecodeError>(())
+//! ```
+
+use crate::branch::{BranchRecord, InstClass};
+use crate::stats::InstMix;
+use crate::trace::Trace;
+use bytes::{Buf, BufMut};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes of format v1 (no instruction-gap data; still readable).
+const MAGIC_V1: [u8; 4] = *b"TLA1";
+/// Magic bytes of format v2 (records carry the instruction gap).
+const MAGIC_V2: [u8; 4] = *b"TLA2";
+
+/// Error returned when decoding a serialized trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input does not start with the trace magic bytes.
+    BadMagic,
+    /// The input ended before the declared number of records.
+    Truncated,
+    /// A record contained an invalid branch-class code.
+    BadRecord {
+        /// Index of the malformed record.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "input is not a serialized trace"),
+            DecodeError::Truncated => write!(f, "serialized trace is truncated"),
+            DecodeError::BadRecord { index } => {
+                write!(f, "malformed branch record at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Serializes a trace to bytes (format v2: each record carries its
+/// instruction gap).
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 * 6 + trace.len() * 13);
+    out.put_slice(&MAGIC_V2);
+    for class in InstClass::ALL {
+        out.put_u64_le(trace.inst_mix().get(class));
+    }
+    out.put_u64_le(trace.len() as u64);
+    for (record, &gap) in trace.iter().zip(trace.gaps()) {
+        record.encode_into(&mut out);
+        out.put_u32_le(gap);
+    }
+    out
+}
+
+/// Deserializes a trace from bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the input is not a serialized trace, is
+/// truncated, or contains a malformed record.
+pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
+    if input.remaining() < 4 {
+        return Err(DecodeError::BadMagic);
+    }
+    let has_gaps = if input[..4] == MAGIC_V2 {
+        true
+    } else if input[..4] == MAGIC_V1 {
+        false
+    } else {
+        return Err(DecodeError::BadMagic);
+    };
+    input.advance(4);
+    if input.remaining() < 8 * 6 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut mix = InstMix::default();
+    for class in InstClass::ALL {
+        mix.set_raw(class, input.get_u64_le());
+    }
+    let len = input.get_u64_le() as usize;
+    let record_bytes = if has_gaps { 13 } else { 9 };
+    let mut trace = Trace::with_capacity(len.min(1 << 24));
+    let mut gaps = Vec::with_capacity(len.min(1 << 24));
+    for index in 0..len {
+        if input.remaining() < record_bytes {
+            return Err(DecodeError::Truncated);
+        }
+        match BranchRecord::decode_from(&mut input) {
+            Some(record) => trace.push(record),
+            None => return Err(DecodeError::BadRecord { index }),
+        }
+        gaps.push(if has_gaps { input.get_u32_le() } else { 0 });
+    }
+    // The pushes above re-counted branches into the mix; overwrite with
+    // the serialized counters, which also carry the non-branch classes.
+    trace.set_mix(mix);
+    trace.set_gaps(gaps);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchRecord;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(0x1000, 0x0f00, true));
+        t.push(BranchRecord::conditional(0x1004, 0x2000, false));
+        t.push(BranchRecord::subroutine_return(0x1008, 0x3000));
+        t.push(BranchRecord::unconditional_imm(0x100c, 0x1000));
+        t.push(BranchRecord::unconditional_reg(0x1010, 0x4000));
+        t.count_instruction(InstClass::IntAlu);
+        t.count_instruction(InstClass::FpAlu);
+        t.count_instruction(InstClass::Mem);
+        t.count_instruction(InstClass::Other);
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(t.inst_mix(), back.inst_mix());
+        assert_eq!(t.conditional_len(), back.conditional_len());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let back = decode(&encode(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"nope"), Err(DecodeError::BadMagic));
+        assert_eq!(decode(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode(&sample_trace());
+        for cut in [5, 20, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_class_rejected() {
+        let mut bytes = encode(&sample_trace());
+        // Header is 4 (magic) + 48 (mix + len); the class/taken flags are
+        // the 9th byte of the first record.
+        let flags_offset = 4 + 48 + 8;
+        bytes[flags_offset] = 0x7f;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadRecord { index: 0 }));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(!DecodeError::BadMagic.to_string().is_empty());
+        assert!(DecodeError::BadRecord { index: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text format
+// ---------------------------------------------------------------------
+
+/// Serializes a trace to a human-readable text format: a header line,
+/// `!mix` counter lines, then one line per branch —
+/// `<kind> <pc-hex> <target-hex> [gap]` with kinds `cond+`, `cond-`,
+/// `ret`, `imm`, `imm-call`, `reg`, `reg-call`; the optional decimal
+/// `gap` is the count of non-branch instructions preceding the branch.
+///
+/// # Examples
+///
+/// ```
+/// use tlat_trace::{codec, BranchRecord, Trace};
+///
+/// let mut t = Trace::new();
+/// t.push(BranchRecord::conditional(0x40, 0x10, true));
+/// let text = codec::encode_text(&t);
+/// assert!(text.contains("cond+ 40 10 0"));
+/// assert_eq!(codec::decode_text(&text)?, t);
+/// # Ok::<(), codec::DecodeError>(())
+/// ```
+pub fn encode_text(trace: &Trace) -> String {
+    use crate::branch::BranchClass;
+    use std::fmt::Write;
+    let mut out = String::with_capacity(16 + trace.len() * 16);
+    out.push_str("# tlat trace v1\n");
+    for class in InstClass::ALL {
+        let _ = writeln!(
+            out,
+            "!mix {} {}",
+            class.label(),
+            trace.inst_mix().get(class)
+        );
+    }
+    for (b, &gap) in trace.iter().zip(trace.gaps()) {
+        let kind = match (b.class, b.taken, b.call) {
+            (BranchClass::Conditional, true, _) => "cond+",
+            (BranchClass::Conditional, false, _) => "cond-",
+            (BranchClass::Return, ..) => "ret",
+            (BranchClass::ImmediateUnconditional, _, false) => "imm",
+            (BranchClass::ImmediateUnconditional, _, true) => "imm-call",
+            (BranchClass::RegisterUnconditional, _, false) => "reg",
+            (BranchClass::RegisterUnconditional, _, true) => "reg-call",
+        };
+        let _ = writeln!(out, "{kind} {:x} {:x} {gap}", b.pc, b.target);
+    }
+    out
+}
+
+/// Parses the text trace format produced by [`encode_text`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadRecord`] (with the offending record's
+/// index counted over branch lines) for unknown kinds or malformed
+/// fields; `!mix` lines with unknown class labels are ignored.
+pub fn decode_text(text: &str) -> Result<Trace, DecodeError> {
+    use crate::branch::BranchClass;
+    let mut trace = Trace::new();
+    let mut mix = InstMix::default();
+    let mut gaps: Vec<u32> = Vec::new();
+    let mut index = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("!mix ") {
+            let mut parts = rest.split_whitespace();
+            let (label, value) = (parts.next(), parts.next());
+            if let (Some(label), Some(value)) = (label, value) {
+                if let Ok(value) = value.parse::<u64>() {
+                    for class in InstClass::ALL {
+                        if class.label() == label {
+                            mix.set_raw(class, value);
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || DecodeError::BadRecord { index };
+        let kind = parts.next().ok_or_else(bad)?;
+        let pc = u32::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let target = u32::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let gap = match parts.next() {
+            Some(g) => g.parse::<u32>().map_err(|_| bad())?,
+            None => 0,
+        };
+        let (class, taken, call) = match kind {
+            "cond+" => (BranchClass::Conditional, true, false),
+            "cond-" => (BranchClass::Conditional, false, false),
+            "ret" => (BranchClass::Return, true, false),
+            "imm" => (BranchClass::ImmediateUnconditional, true, false),
+            "imm-call" => (BranchClass::ImmediateUnconditional, true, true),
+            "reg" => (BranchClass::RegisterUnconditional, true, false),
+            "reg-call" => (BranchClass::RegisterUnconditional, true, true),
+            _ => return Err(bad()),
+        };
+        gaps.push(gap);
+        trace.push(BranchRecord {
+            pc,
+            target,
+            class,
+            taken,
+            call,
+        });
+        index += 1;
+    }
+    // As in the binary decoder: restore the serialized mix if any !mix
+    // lines were present (a text trace without them keeps the
+    // branch-only counters from the pushes).
+    if mix.total() > 0 {
+        trace.set_mix(mix);
+    }
+    trace.set_gaps(gaps);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod text_tests {
+    use super::*;
+    use crate::branch::BranchRecord;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(0x1000, 0x0f00, true));
+        t.push(BranchRecord::conditional(0x1004, 0x2000, false));
+        t.push(BranchRecord::subroutine_return(0x1008, 0x3000));
+        t.push(BranchRecord::call_imm(0x100c, 0x1000));
+        t.push(BranchRecord::call_reg(0x1010, 0x4000));
+        t.push(BranchRecord::unconditional_imm(0x1014, 0x1000));
+        t.push(BranchRecord::unconditional_reg(0x1018, 0x4000));
+        t.count_instruction(InstClass::FpAlu);
+        t
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let t = sample();
+        let text = encode_text(&t);
+        let back = decode_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_and_binary_agree() {
+        let t = sample();
+        let via_text = decode_text(&encode_text(&t)).unwrap();
+        let via_binary = decode(&encode(&t)).unwrap();
+        assert_eq!(via_text, via_binary);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err = decode_text("zigzag 10 20\n").unwrap_err();
+        assert_eq!(err, DecodeError::BadRecord { index: 0 });
+    }
+
+    #[test]
+    fn malformed_hex_is_an_error() {
+        let err = decode_text("cond+ 10 zz\n").unwrap_err();
+        assert_eq!(err, DecodeError::BadRecord { index: 0 });
+        let err = decode_text("cond+ 10\n").unwrap_err();
+        assert_eq!(err, DecodeError::BadRecord { index: 0 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = decode_text("# hello\n\ncond+ 10 20\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.branches()[0].taken);
+    }
+
+    #[test]
+    fn error_index_counts_branch_lines() {
+        let err = decode_text("cond+ 10 20\ncond- 14 20\nbroken 1 2\n").unwrap_err();
+        assert_eq!(err, DecodeError::BadRecord { index: 2 });
+    }
+}

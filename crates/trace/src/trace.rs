@@ -1,0 +1,271 @@
+//! The in-memory trace container.
+
+use crate::branch::{BranchClass, BranchRecord, InstClass};
+use crate::sink::TraceSink;
+use crate::stats::{InstMix, TraceStats};
+
+/// An in-memory instruction/branch trace.
+///
+/// A `Trace` stores the full branch stream (every executed branch as a
+/// [`BranchRecord`]) and aggregate counters for non-branch instructions.
+/// The paper's predictors only consume the branch stream; the instruction
+/// counters exist so that the dynamic-mix distributions of Figures 3 and 4
+/// can be reproduced.
+///
+/// # Examples
+///
+/// ```
+/// use tlat_trace::{BranchRecord, Trace};
+///
+/// let mut t = Trace::new();
+/// t.push(BranchRecord::conditional(0x100, 0x80, true));
+/// assert_eq!(t.conditional_len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    branches: Vec<BranchRecord>,
+    /// Non-branch instructions executed since the previous branch,
+    /// parallel to `branches` (used by the timing simulator).
+    gaps: Vec<u32>,
+    mix: InstMix,
+    conditional: u64,
+    pending_gap: u32,
+}
+
+// `pending_gap` is transient accumulation state (instructions counted
+// since the last branch, not yet attached to any record); two traces
+// with identical recorded content are equal regardless of it.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.branches == other.branches
+            && self.gaps == other.gaps
+            && self.mix == other.mix
+            && self.conditional == other.conditional
+    }
+}
+
+impl Eq for Trace {}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with capacity for `n` branch records.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            branches: Vec::with_capacity(n),
+            gaps: Vec::with_capacity(n),
+            mix: InstMix::default(),
+            conditional: 0,
+            pending_gap: 0,
+        }
+    }
+
+    /// Appends a branch record. The branch's instruction gap is the
+    /// number of [`Trace::count_instruction`] calls since the previous
+    /// branch.
+    pub fn push(&mut self, record: BranchRecord) {
+        self.mix.count(InstClass::Branch);
+        if record.class == BranchClass::Conditional {
+            self.conditional += 1;
+        }
+        self.branches.push(record);
+        self.gaps.push(self.pending_gap);
+        self.pending_gap = 0;
+    }
+
+    /// Counts a non-branch instruction of the given class toward the
+    /// dynamic instruction mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`InstClass::Branch`]; branches must go
+    /// through [`Trace::push`] so the branch stream stays consistent with
+    /// the counters.
+    pub fn count_instruction(&mut self, class: InstClass) {
+        assert_ne!(
+            class,
+            InstClass::Branch,
+            "branch instructions must be pushed as records"
+        );
+        self.mix.count(class);
+        self.pending_gap = self.pending_gap.saturating_add(1);
+    }
+
+    /// The branch records, in execution order.
+    pub fn branches(&self) -> &[BranchRecord] {
+        &self.branches
+    }
+
+    /// Non-branch instructions executed before each branch (parallel to
+    /// [`Trace::branches`]). Traces decoded from formats without gap
+    /// information report zero gaps.
+    pub fn gaps(&self) -> &[u32] {
+        &self.gaps
+    }
+
+    /// Iterates over the branch records in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.branches.iter()
+    }
+
+    /// Number of dynamic branch records.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// `true` when the trace contains no branches.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Number of dynamic conditional branches.
+    pub fn conditional_len(&self) -> u64 {
+        self.conditional
+    }
+
+    /// The dynamic instruction mix (including branches).
+    pub fn inst_mix(&self) -> &InstMix {
+        &self.mix
+    }
+
+    /// Total dynamic instructions recorded (branches plus non-branches).
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.mix.total()
+    }
+
+    /// Computes derived statistics over the whole trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    pub(crate) fn set_mix(&mut self, mix: InstMix) {
+        self.mix = mix;
+    }
+
+    pub(crate) fn set_gaps(&mut self, gaps: Vec<u32>) {
+        assert_eq!(
+            gaps.len(),
+            self.branches.len(),
+            "gaps must parallel branches"
+        );
+        self.gaps = gaps;
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        for record in iter {
+            self.push(record);
+        }
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
+        let mut trace = Trace::new();
+        trace.extend(iter);
+        trace
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.branches.iter()
+    }
+}
+
+impl TraceSink for Trace {
+    fn record_branch(&mut self, record: BranchRecord) -> bool {
+        self.push(record);
+        true
+    }
+
+    fn record_instruction(&mut self, class: InstClass) {
+        if class != InstClass::Branch {
+            self.mix.count(class);
+            self.pending_gap = self.pending_gap.saturating_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(0x10, 0x20, true));
+        t.push(BranchRecord::conditional(0x10, 0x20, false));
+        t.push(BranchRecord::subroutine_return(0x30, 0x14));
+        t.count_instruction(InstClass::IntAlu);
+        t.count_instruction(InstClass::Mem);
+        t
+    }
+
+    #[test]
+    fn gaps_track_instructions_between_branches() {
+        let mut t = Trace::new();
+        t.count_instruction(InstClass::IntAlu);
+        t.count_instruction(InstClass::Mem);
+        t.push(BranchRecord::conditional(0x10, 0x20, true)); // gap 2
+        t.push(BranchRecord::conditional(0x14, 0x20, false)); // gap 0
+        t.count_instruction(InstClass::Other);
+        t.push(BranchRecord::subroutine_return(0x18, 0x20)); // gap 1
+        assert_eq!(t.gaps(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.conditional_len(), 2);
+        assert_eq!(t.dynamic_instructions(), 5);
+        assert_eq!(t.inst_mix().get(InstClass::Branch), 3);
+        assert_eq!(t.inst_mix().get(InstClass::IntAlu), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch instructions")]
+    fn counting_branch_as_instruction_panics() {
+        let mut t = Trace::new();
+        t.count_instruction(InstClass::Branch);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let records = [
+            BranchRecord::conditional(4, 8, true),
+            BranchRecord::conditional(8, 4, false),
+        ];
+        let t: Trace = records.iter().copied().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.branches(), &records[..]);
+    }
+
+    #[test]
+    fn iterate_by_reference() {
+        let t = sample();
+        let taken: Vec<bool> = (&t).into_iter().map(|b| b.taken).collect();
+        assert_eq!(taken, vec![true, false, true]);
+    }
+
+    #[test]
+    fn sink_impl_records() {
+        let mut t = Trace::new();
+        assert!(TraceSink::record_branch(
+            &mut t,
+            BranchRecord::conditional(4, 8, true)
+        ));
+        TraceSink::record_instruction(&mut t, InstClass::FpAlu);
+        // Branch-class instruction events are ignored by the sink; the
+        // record itself already counted the branch.
+        TraceSink::record_instruction(&mut t, InstClass::Branch);
+        assert_eq!(t.dynamic_instructions(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the trace crate.
+
+use proptest::prelude::*;
+use tlat_trace::{codec, BranchClass, BranchRecord, InstClass, ReturnAddressStack, Trace};
+
+fn arb_class() -> impl Strategy<Value = BranchClass> {
+    prop_oneof![
+        Just(BranchClass::Conditional),
+        Just(BranchClass::Return),
+        Just(BranchClass::ImmediateUnconditional),
+        Just(BranchClass::RegisterUnconditional),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        arb_class(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, target, class, cond_taken, is_call)| BranchRecord {
+            pc,
+            target,
+            class,
+            // Non-conditional branches are always taken by construction.
+            taken: if class == BranchClass::Conditional {
+                cond_taken
+            } else {
+                true
+            },
+            // Only unconditional branches can be calls.
+            call: is_call
+                && matches!(
+                    class,
+                    BranchClass::ImmediateUnconditional | BranchClass::RegisterUnconditional
+                ),
+        })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(records in prop::collection::vec(arb_record(), 0..256),
+                       extra_ints in 0u8..50, extra_mems in 0u8..50) {
+        let mut trace = Trace::new();
+        for r in &records {
+            trace.push(*r);
+        }
+        for _ in 0..extra_ints {
+            trace.count_instruction(InstClass::IntAlu);
+        }
+        for _ in 0..extra_mems {
+            trace.count_instruction(InstClass::Mem);
+        }
+        let bytes = codec::encode(&trace);
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(&trace, &back);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    #[test]
+    fn stats_counts_match_manual(records in prop::collection::vec(arb_record(), 0..256)) {
+        let trace: Trace = records.iter().copied().collect();
+        let stats = trace.stats();
+        let manual_cond = records
+            .iter()
+            .filter(|r| r.class == BranchClass::Conditional)
+            .count() as u64;
+        prop_assert_eq!(stats.dynamic_conditional_branches, manual_cond);
+        prop_assert_eq!(stats.class_distribution.total(), records.len() as u64);
+        let mut pcs: Vec<u32> = records
+            .iter()
+            .filter(|r| r.class == BranchClass::Conditional)
+            .map(|r| r.pc)
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        prop_assert_eq!(stats.static_conditional_branches, pcs.len());
+    }
+
+    #[test]
+    fn ras_balanced_calls_always_predict(depth in 1usize..24, capacity in 24usize..64) {
+        // With capacity >= depth, perfectly nested call/return streams
+        // predict every return.
+        let mut ras = ReturnAddressStack::new(capacity);
+        for d in 0..depth {
+            ras.push(d as u32 * 4 + 8);
+        }
+        for d in (0..depth).rev() {
+            prop_assert!(ras.predict_and_verify(d as u32 * 4 + 8));
+        }
+        prop_assert_eq!(ras.stats().predictions, depth as u64);
+        prop_assert_eq!(ras.stats().correct, depth as u64);
+        prop_assert_eq!(ras.stats().overflows, 0);
+        prop_assert_eq!(ras.stats().underflows, 0);
+    }
+}

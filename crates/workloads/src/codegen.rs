@@ -1,0 +1,103 @@
+//! Shared code-generation helpers for the workload programs.
+
+use tlat_isa::{Assembler, Reg};
+
+/// Emits a bottom-tested counted loop (the shape compilers produce for
+/// `for` loops): the body runs with `idx` from its current value up to
+/// `limit - 1`, then falls through. One conditional back-edge per
+/// iteration — taken n-1 times, not taken once.
+///
+/// The caller must initialize `idx` before and must not clobber `limit`
+/// inside the body.
+pub(crate) fn counted_loop(
+    asm: &mut Assembler,
+    idx: Reg,
+    limit: Reg,
+    body: impl FnOnce(&mut Assembler),
+) {
+    let top = asm.bind_fresh("loop_top");
+    body(asm);
+    asm.addi(idx, idx, 1);
+    asm.blt(idx, limit, top);
+}
+
+/// Emits `for idx in 0..limit { body }` (zeroing `idx` first) guarded by
+/// an entry check so a zero trip count is handled; two static branches.
+pub(crate) fn for_range(
+    asm: &mut Assembler,
+    idx: Reg,
+    limit: Reg,
+    body: impl FnOnce(&mut Assembler),
+) {
+    asm.li(idx, 0);
+    let done = asm.fresh_label("for_done");
+    asm.bge(idx, limit, done);
+    counted_loop(asm, idx, limit, body);
+    asm.bind(done);
+}
+
+/// Loads the workload parameter stored at data-memory word `index` into
+/// `dst` (parameters live at the bottom of memory; `r0` is the zero
+/// base register).
+pub(crate) fn load_param(asm: &mut Assembler, dst: Reg, index: i64) {
+    asm.ld(dst, Reg::ZERO, index);
+}
+
+/// The number of reserved parameter words at the bottom of every
+/// workload's data memory.
+pub(crate) const PARAM_WORDS: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlat_isa::Interpreter;
+    use tlat_trace::Trace;
+
+    const R2: Reg = Reg::new(2);
+    const R3: Reg = Reg::new(3);
+    const R4: Reg = Reg::new(4);
+
+    #[test]
+    fn counted_loop_runs_exact_trip_count() {
+        let mut asm = Assembler::new();
+        asm.li(R2, 0);
+        asm.li(R3, 7);
+        asm.li(R4, 0);
+        counted_loop(&mut asm, R2, R3, |asm| {
+            asm.addi(R4, R4, 10);
+        });
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut i = Interpreter::new(&p, 0);
+        i.run(&mut Trace::new(), 10_000).unwrap();
+        assert_eq!(i.reg(R4), 70);
+    }
+
+    #[test]
+    fn for_range_handles_zero_trip() {
+        let mut asm = Assembler::new();
+        asm.li(R3, 0); // limit 0
+        asm.li(R4, 0);
+        for_range(&mut asm, R2, R3, |asm| {
+            asm.addi(R4, R4, 1);
+        });
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut i = Interpreter::new(&p, 0);
+        i.run(&mut Trace::new(), 10_000).unwrap();
+        assert_eq!(i.reg(R4), 0);
+    }
+
+    #[test]
+    fn load_param_reads_memory_bottom() {
+        let mut asm = Assembler::new();
+        load_param(&mut asm, R2, 3);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut mem = vec![0i64; PARAM_WORDS];
+        mem[3] = 42;
+        let mut i = Interpreter::with_memory(&p, mem);
+        i.run(&mut Trace::new(), 100).unwrap();
+        assert_eq!(i.reg(R2), 42);
+    }
+}

@@ -1,0 +1,301 @@
+//! `doduc` analogue — Monte Carlo nuclear-reactor kinetics.
+//!
+//! SPEC'89 `doduc` simulates a reactor with a large, branchy FORTRAN
+//! code: over a thousand static conditional branches, visited
+//! irregularly, many data-dependent. The analogue models it as a Monte
+//! Carlo driver: a register-resident LCG draws a pseudo-random event
+//! which selects one of [`SECTIONS`] generated "physics routines"
+//! through an in-memory function table (register-indirect calls). Each
+//! routine mixes floating-point relaxation chains with conditional
+//! branches on both random event bits and data-loaded thresholds.
+//!
+//! With ~1150 conditional-branch sites spread over 96 routines, the
+//! working set exceeds a 512-entry AHRT — reproducing the capacity
+//! effects the paper's HRT-implementation comparison (Figure 6) relies
+//! on.
+
+use crate::codegen::{load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, FReg, Reg};
+
+/// Number of generated physics routines.
+const SECTIONS: usize = 96;
+/// Conditional branch sites per routine (96 × 12 ≈ the original's 1149).
+const SITES_PER_SECTION: usize = 12;
+/// Data words (FP thresholds) per routine.
+const DATA_PER_SECTION: usize = 8;
+/// Structural seed: fixes the generated code across data sets.
+const STRUCTURE_SEED: u64 = 0xD0D0_0001;
+
+/// Training data set ("tiny doducin" in Table 3).
+pub fn train_input() -> DataSet {
+    DataSet::new("tiny-doducin", 0xd0d0_7777, 0)
+}
+
+/// Testing data set ("doducin" in Table 3).
+pub fn test_input() -> DataSet {
+    DataSet::new("doducin", 0xd0d0_1234, 0)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    let table_base = PARAM_WORDS;
+    let data_base = table_base + SECTIONS;
+
+    let rseed = Reg::new(20); // LCG state, global
+    let rsec = Reg::new(2);
+    let raddr = Reg::new(3);
+    let (t0, t1) = (Reg::new(4), Reg::new(5));
+    let rc = Reg::new(7);
+    let (fs, fx, fthr, fc) = (FReg::new(20), FReg::new(1), FReg::new(2), FReg::new(3));
+
+    let mut structure = SplitMix64::new(STRUCTURE_SEED);
+    let mut asm = Assembler::new();
+
+    // --- driver ---
+    // Physics routines run in bursts (a routine is applied to a batch
+    // of particles before the next one runs) with a heavily skewed
+    // profile: a few hot kernels dominate dynamic execution while the
+    // full ~1150-site footprint stays in the static picture. A slowly
+    // advancing LCG supplies the residual Monte Carlo noise a minority
+    // of branch sites key off.
+    let rrep = Reg::new(8);
+    let rreps = Reg::new(9);
+    let rpass = Reg::new(10);
+    let _ = rsec;
+    load_param(&mut asm, rseed, 0); // initial LCG state (from the data set)
+    asm.fli(fs, 0.5); // global FP state
+    asm.li(rpass, 0);
+    let timestep = asm.bind_fresh("timestep");
+    let mut section_labels = Vec::with_capacity(SECTIONS);
+    for _ in 0..SECTIONS {
+        section_labels.push(asm.fresh_label("section"));
+    }
+    let mut driver_structure = SplitMix64::new(STRUCTURE_SEED ^ 0x77);
+    let classes: Vec<(i64, i64)> = (0..SECTIONS)
+        .map(|_| match driver_structure.index(100) {
+            0..=9 => (1, 6 + driver_structure.index(10) as i64),
+            10..=39 => (
+                [2i64, 4][driver_structure.index(2)],
+                2 + driver_structure.index(5) as i64,
+            ),
+            _ => (
+                [8i64, 16][driver_structure.index(2)],
+                1 + driver_structure.index(3) as i64,
+            ),
+        })
+        .collect();
+    let hot: Vec<usize> = (0..SECTIONS).filter(|&s| classes[s].0 == 1).collect();
+    let emit_burst = |asm: &mut Assembler, s: usize, reps: i64| {
+        asm.li(rreps, reps);
+        asm.li(rrep, 0);
+        let burst = asm.bind_fresh("burst");
+        // LCG step per call (noise source for a minority of sites).
+        asm.li(t0, 6364136223846793005);
+        asm.mul(rseed, rseed, t0);
+        asm.li(t0, 1442695040888963407);
+        asm.add(rseed, rseed, t0);
+        if s.is_multiple_of(3) {
+            // A third of the kernels are reached through the function
+            // table (register-indirect calls).
+            asm.li(t0, (table_base + s) as i64);
+            asm.ld(raddr, t0, 0);
+            asm.callr(raddr);
+        } else {
+            asm.call(section_labels[s]);
+        }
+        asm.addi(rrep, rrep, 1);
+        asm.blt(rrep, rreps, burst);
+    };
+    for s in 0..SECTIONS {
+        let (skip, reps) = classes[s];
+        let next_section = asm.fresh_label("next_section");
+        if skip > 1 {
+            let phase = driver_structure.range_i64(0, skip);
+            asm.li(t0, skip);
+            asm.rem(t1, rpass, t0);
+            asm.li(t0, phase);
+            asm.bne(t1, t0, next_section);
+        }
+        emit_burst(&mut asm, s, reps);
+        asm.bind(next_section);
+        // Hot kernels are re-touched between cold ones so their HRT
+        // entries stay resident, as a dominant physics kernel's would.
+        if !hot.is_empty() && s % 5 == 4 {
+            let h = hot[(s / 5) % hot.len()];
+            let hot_reps = 3 + driver_structure.index(6) as i64;
+            emit_burst(&mut asm, h, hot_reps);
+        }
+    }
+    asm.addi(rpass, rpass, 1);
+    asm.li(rc, 1 << 40);
+    asm.blt(rpass, rc, timestep);
+    asm.halt();
+
+    // --- generated routines ---
+    let mut entry_indices = Vec::with_capacity(SECTIONS);
+    let rtrip = Reg::new(11);
+    let rtc = Reg::new(12);
+    #[allow(clippy::needless_range_loop)] // `section` is the routine id, used beyond indexing
+    for section in 0..SECTIONS {
+        entry_indices.push(asm.here());
+        asm.bind(section_labels[section]);
+        // x is picked from this section's data by the burst position
+        // (register r8 = rrep in the driver): deterministic and
+        // short-period, so each site's outcome sequence repeats — the
+        // regularity real physics kernels show across particles of the
+        // same batch.
+        asm.andi(t1, Reg::new(8), 3);
+        asm.addi(t1, t1, (data_base + section * DATA_PER_SECTION + 1) as i64);
+        asm.fld(fx, t1, 0);
+
+        // An inner relaxation loop with a data-dependent trip count
+        // (2–9): the loop back-edge pattern T..TN is exactly what
+        // history-based prediction exploits and counters cannot.
+        asm.li(t0, (data_base + section * DATA_PER_SECTION) as i64);
+        asm.ld(rtc, t0, 0);
+        asm.andi(rtc, rtc, 7);
+        asm.addi(rtc, rtc, 2);
+        asm.li(rtrip, 0);
+        let inner_top = asm.bind_fresh("inner");
+        asm.fli(fc, 0.99);
+        asm.fmul(fx, fx, fc);
+        asm.addi(rtrip, rtrip, 1);
+        asm.blt(rtrip, rtc, inner_top);
+
+        for site in 0..SITES_PER_SECTION {
+            let skip = asm.fresh_label("site_skip");
+            if structure.chance(0.08) {
+                // A minority of sites carry genuine Monte Carlo noise:
+                // branch on masked event bits from the LCG.
+                let shift = 8 + structure.index(40) as u8;
+                let bits = 1 + structure.index(3) as u8; // 1..=3 bits
+                let modulus = 1i64 << bits;
+                let cut = 1 + structure.range_i64(0, modulus - 1);
+                asm.srli(t0, rseed, shift);
+                asm.li(t1, modulus);
+                asm.rem(t0, t0, t1);
+                asm.li(t1, cut);
+                if structure.chance(0.5) {
+                    asm.blt(t0, t1, skip);
+                } else {
+                    asm.bge(t0, t1, skip);
+                }
+            } else {
+                // Most sites: FP compare of the (deterministic)
+                // evolving state against a data-loaded threshold.
+                let slot = data_base + section * DATA_PER_SECTION + site % DATA_PER_SECTION;
+                asm.li(t0, slot as i64);
+                asm.fld(fthr, t0, 0);
+                if structure.chance(0.5) {
+                    asm.fblt(fx, fthr, skip);
+                } else {
+                    asm.fbge(fx, fthr, skip);
+                }
+            }
+            // Guarded FP work: relax the global state toward x.
+            let chain = 1 + structure.index(3);
+            for _ in 0..chain {
+                let w = 0.1 + structure.unit_f64() * 0.5;
+                asm.fli(fc, w);
+                asm.fmul(fs, fs, fc);
+                asm.fli(fc, 1.0 - w);
+                asm.fmul(fthr, fx, fc);
+                asm.fadd(fs, fs, fthr);
+            }
+            asm.bind(skip);
+            // Stir x with structural constants only: later sites see
+            // different but equally deterministic values.
+            let w = 0.85 + structure.unit_f64() * 0.1;
+            asm.fli(fc, w);
+            asm.fmul(fx, fx, fc);
+            asm.fli(fc, (1.0 - w) * 0.7);
+            asm.fadd(fx, fx, fc);
+        }
+        asm.ret();
+    }
+
+    let program = asm.finish().expect("doduc assembles");
+
+    // --- data image (needs the final routine addresses) ---
+    let mut data_rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; data_base + SECTIONS * DATA_PER_SECTION];
+    memory[0] = input.seed as i64 | 1; // LCG state must be odd-ish; any nonzero works
+    for (i, &idx) in entry_indices.iter().enumerate() {
+        memory[table_base + i] = program.address_of(idx) as i64;
+    }
+    for slot in memory.iter_mut().skip(data_base) {
+        // Thresholds concentrated in (0,1): routines' FP compares are
+        // genuinely data-dependent and shift between data sets.
+        *slot = data_rng.unit_f64().to_bits() as i64;
+    }
+
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+    use tlat_trace::BranchClass;
+
+    #[test]
+    fn static_branch_count_matches_paper_scale() {
+        let loaded = build(&test_input());
+        // Generated routine sites + per-section inner loops + the
+        // generated driver's burst/skip branches: the same order as
+        // the original's 1149.
+        let count = loaded.program.static_conditional_branches();
+        assert!((900..1800).contains(&count), "static branches {count}");
+    }
+
+    #[test]
+    fn uses_indirect_calls_and_returns() {
+        let trace = run_trace(&build(&test_input()), 20_000).unwrap();
+        let mut indirect_calls = 0;
+        let mut calls = 0;
+        let mut rets = 0;
+        for b in trace.iter() {
+            match b.class {
+                BranchClass::RegisterUnconditional if b.call => {
+                    indirect_calls += 1;
+                    calls += 1;
+                }
+                _ if b.call => calls += 1,
+                BranchClass::Return => rets += 1,
+                _ => {}
+            }
+        }
+        assert!(indirect_calls > 50, "indirect calls {indirect_calls}");
+        assert!((calls as i64 - rets as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn branch_behaviour_is_irregular() {
+        // doduc is not loop-bound: the overall taken rate sits in the
+        // middle, not near 1.
+        let trace = run_trace(&build(&test_input()), 50_000).unwrap();
+        let rate = trace.stats().taken_rate;
+        assert!((0.25..0.85).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn train_and_test_differ_in_data_only() {
+        let train = build(&train_input());
+        let test = build(&test_input());
+        assert_eq!(train.program, test.program);
+        assert_ne!(train.memory, test.memory);
+        let a = run_trace(&train, 5_000).unwrap();
+        let b = run_trace(&test, 5_000).unwrap();
+        assert_ne!(a, b, "different data sets must diverge");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

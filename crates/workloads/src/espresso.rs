@@ -1,0 +1,262 @@
+//! `espresso` analogue — boolean cube-set manipulation.
+//!
+//! SPEC'89 `espresso` minimizes PLAs by churning through sets of
+//! "cubes" (bit-vector pairs) with containment, intersection and
+//! cofactor operations — integer-only, branch-dense, and irregular:
+//! branch outcomes hang off individual input bits. The analogue
+//! generates [`OPS`] cube-operation kernels (containment tests,
+//! intersection emptiness checks, distance-1 merges), each looping over
+//! an input-dependent cube list with early exits, plus a nested
+//! cofactor pass, repeated forever.
+
+use crate::codegen::{for_range, load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, Reg};
+
+/// Words per cube bit-vector.
+const W: usize = 4;
+/// Generated cube-operation kernels.
+const OPS: usize = 160;
+/// Cube-list capacity: the memory layout is fixed at this size so the
+/// program is identical across data sets (the live count `nc` is a
+/// runtime parameter).
+const NC_MAX: usize = 256;
+/// Structural seed: fixes the generated code across data sets.
+const STRUCTURE_SEED: u64 = 0xE5B2_E550;
+
+/// Training data set (`cps` in Table 3).
+pub fn train_input() -> DataSet {
+    DataSet::new("cps", 0xe5b2_0001, 96)
+}
+
+/// Testing data set (`bca` in Table 3).
+pub fn test_input() -> DataSet {
+    DataSet::new("bca", 0xe5b2_0002, 128)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    let nc = input.scale.clamp(16, NC_MAX);
+    let cube_base = PARAM_WORDS;
+    let scratch_base = cube_base + NC_MAX * W;
+
+    // --- data image ---
+    let mut data_rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; scratch_base + NC_MAX * W];
+    memory[0] = nc as i64;
+    for c in 0..nc {
+        for w in 0..W {
+            // Sparse-ish cubes: each bit set with probability ~0.3, in
+            // 16-bit lanes so masks find structure.
+            let mut word = 0i64;
+            for bit in 0..16 {
+                if data_rng.chance(0.3) {
+                    word |= 1 << bit;
+                }
+            }
+            memory[cube_base + c * W + w] = word;
+        }
+    }
+
+    // --- registers ---
+    let rnc = Reg::new(2);
+    let rc = Reg::new(3);
+    let (t0, t1, t2, t3) = (Reg::new(4), Reg::new(5), Reg::new(6), Reg::new(7));
+    let racc = Reg::new(8);
+    let rd = Reg::new(9);
+    let rlink_save = Reg::new(25);
+    let rcube = Reg::new(26);
+    let rscratch = Reg::new(27);
+
+    let mut structure = SplitMix64::new(STRUCTURE_SEED);
+    let mut asm = Assembler::new();
+    load_param(&mut asm, rnc, 0);
+    asm.li(rcube, cube_base as i64);
+    asm.li(rscratch, scratch_base as i64);
+
+    // Kernel routines are called, not inlined: espresso's cube
+    // operations are functions (`cdist`, `sf_contain`, ...), and the
+    // call/return traffic belongs in the branch-class mix.
+    let kernel_labels: Vec<_> = (0..OPS).map(|_| asm.fresh_label("cube_op")).collect();
+    let forever = asm.bind_fresh("minimize");
+    for &kernel in &kernel_labels {
+        asm.call(kernel);
+    }
+    // Cofactor pass: nested loop with a data-dependent early exit.
+    for_range(&mut asm, rc, rnc, |asm| {
+        asm.li(t0, W as i64);
+        asm.mul(t1, rc, t0);
+        asm.add(t1, t1, rcube);
+        asm.li(rd, 0);
+        let inner_top = asm.bind_fresh("cof_top");
+        let inner_done = asm.fresh_label("cof_done");
+        asm.add(t2, t1, rd);
+        asm.ld(t3, t2, 0);
+        // Early exit on an all-zero word.
+        asm.beq(t3, Reg::ZERO, inner_done);
+        // Rotate the word's low lane to keep the data evolving.
+        asm.slli(t0, t3, 1);
+        asm.srli(t3, t3, 15);
+        asm.or(t0, t0, t3);
+        asm.andi(t0, t0, 0xffff);
+        asm.st(t0, t2, 0);
+        asm.addi(rd, rd, 1);
+        asm.li(t0, W as i64);
+        asm.blt(rd, t0, inner_top);
+        asm.bind(inner_done);
+    });
+
+    asm.br(forever);
+
+    // --- kernel routine bodies ---
+    for &kernel in &kernel_labels {
+        asm.bind(kernel);
+        let kind = structure.index(3);
+        let word_a = structure.index(W) as i64;
+        let word_b = structure.index(W) as i64;
+        let mask = {
+            let mut m = 0i64;
+            for bit in 0..16 {
+                if structure.chance(0.4) {
+                    m |= 1 << bit;
+                }
+            }
+            m.max(1)
+        };
+        asm.li(racc, 0);
+        match kind {
+            // Containment scan: count cubes whose masked word_a covers
+            // word_b's mask bits. The per-cube test is a helper routine
+            // called from the scan loop — espresso's `cdist`/`full_row`
+            // helpers are called per cube pair, and that call/return
+            // traffic is a visible share of its branch mix. The kernel
+            // saves its own return address around the inner calls.
+            0 => {
+                let helper = asm.fresh_label("contain_helper");
+                let after = asm.fresh_label("contain_after");
+                asm.mov(rlink_save, Reg::LINK);
+                for_range(&mut asm, rc, rnc, |asm| {
+                    asm.call(helper);
+                });
+                asm.mov(Reg::LINK, rlink_save);
+                asm.br(after);
+                asm.bind(helper);
+                asm.li(t0, W as i64);
+                asm.mul(t1, rc, t0);
+                asm.add(t1, t1, rcube);
+                asm.ld(t2, t1, word_a);
+                asm.andi(t2, t2, mask);
+                let skip = asm.fresh_label("cover_skip");
+                asm.li(t3, mask);
+                asm.bne(t2, t3, skip);
+                asm.addi(racc, racc, 1);
+                asm.bind(skip);
+                asm.ret();
+                asm.bind(after);
+            }
+            // Intersection-emptiness: adjacent cube pairs.
+            1 => {
+                asm.li(rc, 1);
+                let top = asm.bind_fresh("isect_top");
+                asm.li(t0, W as i64);
+                asm.mul(t1, rc, t0);
+                asm.add(t1, t1, rcube);
+                asm.ld(t2, t1, word_a);
+                asm.sub(t3, t1, t0);
+                asm.ld(t3, t3, word_b);
+                asm.and(t2, t2, t3);
+                let empty = asm.fresh_label("isect_empty");
+                asm.beq(t2, Reg::ZERO, empty);
+                asm.addi(racc, racc, 1);
+                asm.bind(empty);
+                asm.addi(rc, rc, 1);
+                asm.blt(rc, rnc, top);
+            }
+            // Distance-1 merge attempt: xor popcount-ish check via
+            // mask shredding, writing merged cubes to scratch.
+            _ => {
+                for_range(&mut asm, rc, rnc, |asm| {
+                    asm.li(t0, W as i64);
+                    asm.mul(t1, rc, t0);
+                    asm.add(t2, t1, rcube);
+                    asm.ld(t3, t2, word_a);
+                    asm.xori(t3, t3, mask);
+                    asm.andi(t3, t3, mask);
+                    let not_single = asm.fresh_label("merge_skip");
+                    // "Mergeable" when the masked difference is a
+                    // power of two: t3 & (t3-1) == 0 and t3 != 0.
+                    asm.beq(t3, Reg::ZERO, not_single);
+                    asm.addi(t0, t3, -1);
+                    asm.and(t0, t0, t3);
+                    asm.bne(t0, Reg::ZERO, not_single);
+                    asm.add(t0, t1, rscratch);
+                    asm.st(t3, t0, word_a);
+                    asm.addi(racc, racc, 1);
+                    asm.bind(not_single);
+                });
+            }
+        }
+        asm.ret();
+    }
+
+    let program = asm.finish().expect("espresso assembles");
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+    use tlat_trace::InstClass;
+
+    #[test]
+    fn static_branch_count_matches_paper_scale() {
+        let count = build(&test_input()).program.static_conditional_branches();
+        assert!((150..900).contains(&count), "static branches {count}");
+    }
+
+    #[test]
+    fn integer_only_and_irregular() {
+        let trace = run_trace(&build(&test_input()), 50_000).unwrap();
+        assert_eq!(trace.inst_mix().get(InstClass::FpAlu), 0);
+        let rate = trace.stats().taken_rate;
+        assert!((0.2..0.95).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn many_sites_are_data_dependent() {
+        let trace = run_trace(&build(&test_input()), 80_000).unwrap();
+        use std::collections::HashMap;
+        let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
+        for b in trace.iter() {
+            let e = per_site.entry(b.pc).or_default();
+            e.0 += b.taken as u64;
+            e.1 += 1;
+        }
+        let mixed = per_site
+            .values()
+            .filter(|(t, n)| {
+                let r = *t as f64 / *n as f64;
+                (0.05..=0.95).contains(&r)
+            })
+            .count();
+        assert!(mixed > 20, "mixed-behaviour sites {mixed}");
+    }
+
+    #[test]
+    fn train_and_test_share_code_differ_in_data() {
+        let train = build(&train_input());
+        let test = build(&test_input());
+        assert_eq!(train.program, test.program);
+        assert_ne!(train.memory, test.memory);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

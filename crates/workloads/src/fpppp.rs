@@ -1,0 +1,221 @@
+//! `fpppp` analogue — enormous straight-line floating-point blocks.
+//!
+//! SPEC'89 `fpppp` (two-electron integral derivatives) is famous for
+//! huge basic blocks: long chains of floating-point arithmetic broken
+//! only by heavily biased conditional branches, and a low overall
+//! branch fraction (~5 % of dynamic instructions). Like the original,
+//! the analogue *finishes* before the full conditional-branch budget —
+//! the paper notes fpppp and gcc complete before twenty million
+//! conditional branches.
+//!
+//! The program is generated procedurally: [`GROUPS`] code groups, each a
+//! chain of FP operations punctuated by [`BRANCHES_PER_GROUP`]
+//! threshold compares whose thresholds are drawn (with a fixed
+//! *structural* seed, independent of the data set) so that most sites
+//! are strongly biased and a minority are data-dependent.
+
+use crate::codegen::{load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, FReg, Reg};
+
+/// Number of generated code groups.
+const GROUPS: usize = 40;
+/// Conditional branch sites per group (40 × 16 ≈ the original's 653
+/// static conditional branches).
+const BRANCHES_PER_GROUP: usize = 16;
+/// Data elements per group. Kept short so the data-dependent minority
+/// of sites sees short-period repeating patterns (the element index
+/// cycles), as the original's inner loops do.
+const ELEMS: usize = 16;
+/// Structural seed: fixes the generated *code* regardless of data set.
+const STRUCTURE_SEED: u64 = 0xF999_0001;
+/// Elements processed per group per outer iteration.
+const BURST: usize = 24;
+
+/// The workload's single data set; `scale` is the outer iteration count
+/// (the program halts after it, like the original finishing its run).
+pub fn test_input() -> DataSet {
+    DataSet::new("fpppp-natoms", 0xf404, 25)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    let mut data_rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; PARAM_WORDS + GROUPS * ELEMS];
+    memory[0] = input.scale as i64; // outer iterations
+    memory[1] = ELEMS as i64;
+    for slot in memory.iter_mut().skip(PARAM_WORDS) {
+        *slot = (data_rng.unit_f64() * 2.0 - 1.0).to_bits() as i64;
+    }
+
+    let riters = Reg::new(2);
+    let rm = Reg::new(3);
+    let rit = Reg::new(4);
+    let ridx = Reg::new(5);
+    let t0 = Reg::new(6);
+    let rb = Reg::new(7);
+    let rburst = Reg::new(8);
+    let (fx, fy, fz, fthr, fc) = (
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+    );
+
+    let mut structure = SplitMix64::new(STRUCTURE_SEED);
+    let mut asm = Assembler::new();
+    load_param(&mut asm, riters, 0);
+    load_param(&mut asm, rm, 1);
+    asm.li(rit, 0);
+    asm.li(rburst, BURST as i64);
+    // Each group is a subroutine — fpppp's giant blocks are FORTRAN
+    // routines (`fpppp`, `twldrv`, ...) invoked from a driver loop.
+    let group_labels: Vec<_> = (0..GROUPS).map(|_| asm.fresh_label("group")).collect();
+    let outer = asm.bind_fresh("outer");
+    for &group in &group_labels {
+        asm.call(group);
+    }
+    asm.addi(rit, rit, 1);
+    asm.blt(rit, riters, outer);
+    asm.halt();
+
+    #[allow(clippy::needless_range_loop)] // `group` is the block id, used beyond indexing
+    for group in 0..GROUPS {
+        asm.bind(group_labels[group]);
+        // Each group processes a burst of consecutive elements before
+        // the next group runs — the original's two-electron loops walk
+        // batches of integrals through the same huge block — so the
+        // group's branch sites see a resident, repeating pattern.
+        asm.li(rb, 0);
+        let burst_top = asm.bind_fresh("group_burst");
+        asm.add(ridx, rit, rb);
+        asm.rem(ridx, ridx, rm);
+        // x = data[group*ELEMS + idx]
+        asm.li(t0, (PARAM_WORDS + group * ELEMS) as i64);
+        asm.add(t0, t0, ridx);
+        asm.fld(fx, t0, 0);
+        asm.fmov(fy, fx);
+
+        for _ in 0..BRANCHES_PER_GROUP {
+            // A long FP chain (the "basic block"): y = y*a + x*b, a few
+            // times, keeping |y| bounded.
+            let chain = 3 + structure.index(4);
+            for _ in 0..chain {
+                let a = 0.3 + structure.unit_f64() * 0.4;
+                let b = 0.2 + structure.unit_f64() * 0.4;
+                asm.fli(fc, a);
+                asm.fmul(fy, fy, fc);
+                asm.fli(fc, b);
+                asm.fmul(fz, fx, fc);
+                asm.fadd(fy, fy, fz);
+            }
+            // A biased threshold compare guarding a short FP fix-up
+            // block. 90 % of sites get a far threshold (strong bias,
+            // fpppp's signature), the rest sit near the data median
+            // (data-dependent, short-period via the element cycle).
+            let threshold = if structure.chance(0.9) {
+                let sign = if structure.chance(0.5) { 1.0 } else { -1.0 };
+                sign * (1.2 + structure.unit_f64() * 0.8)
+            } else {
+                structure.unit_f64() * 0.6 - 0.3
+            };
+            asm.fli(fthr, threshold);
+            let skip = asm.fresh_label("skip");
+            if structure.chance(0.5) {
+                asm.fblt(fy, fthr, skip);
+            } else {
+                asm.fbge(fy, fthr, skip);
+            }
+            asm.fabs(fz, fy);
+            asm.fsqrt(fz, fz);
+            asm.fli(fc, 0.5);
+            asm.fmul(fy, fy, fc);
+            asm.fmul(fz, fz, fc);
+            asm.fadd(fy, fy, fz);
+            asm.bind(skip);
+        }
+
+        asm.addi(rb, rb, 1);
+        asm.blt(rb, rburst, burst_top);
+        asm.ret();
+    }
+
+    let program = asm.finish().expect("fpppp assembles");
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+    use tlat_trace::InstClass;
+
+    #[test]
+    fn static_branch_count_matches_paper_scale() {
+        let loaded = build(&test_input());
+        // 40 groups x 16 sites + per-group burst loops + the outer
+        // loop back-edge.
+        assert_eq!(
+            loaded.program.static_conditional_branches(),
+            GROUPS * BRANCHES_PER_GROUP + GROUPS + 1
+        );
+    }
+
+    #[test]
+    fn branch_fraction_is_low() {
+        let trace = run_trace(&build(&test_input()), 50_000).unwrap();
+        let frac = trace.inst_mix().fraction(InstClass::Branch);
+        assert!(frac < 0.12, "branch fraction {frac}");
+        let fp = trace.inst_mix().fraction(InstClass::FpAlu);
+        assert!(fp > 0.4, "fp fraction {fp}");
+    }
+
+    #[test]
+    fn finishes_before_a_large_budget() {
+        // Like the original, the program halts before an oversized
+        // conditional-branch budget is exhausted.
+        let small = DataSet::new("tiny", 0xf404, 20);
+        let trace = run_trace(&build(&small), u64::MAX >> 32).unwrap();
+        assert!(trace.conditional_len() < 1_000_000);
+        assert!(trace.conditional_len() > 0);
+    }
+
+    #[test]
+    fn most_sites_are_strongly_biased() {
+        let trace = run_trace(&build(&test_input()), 60_000).unwrap();
+        use std::collections::HashMap;
+        let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
+        for b in trace
+            .iter()
+            .filter(|b| b.class == tlat_trace::BranchClass::Conditional)
+        {
+            let e = per_site.entry(b.pc).or_default();
+            e.0 += b.taken as u64;
+            e.1 += 1;
+        }
+        let sites = per_site.len();
+        let strongly_biased = per_site
+            .values()
+            .filter(|(t, n)| {
+                let rate = *t as f64 / *n as f64;
+                !(0.1..=0.9).contains(&rate)
+            })
+            .count();
+        assert!(
+            strongly_biased as f64 / sites as f64 > 0.5,
+            "{strongly_biased}/{sites} strongly biased"
+        );
+        // But some sites must remain genuinely mixed.
+        assert!(strongly_biased < sites);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,320 @@
+//! `gcc` analogue — a compiler-shaped branch monster.
+//!
+//! SPEC'89 `gcc` has by far the largest static branch footprint in the
+//! suite (6922 conditional sites, Table 1): thousands of small
+//! functions full of irregular if-trees over IR data, dispatched
+//! indirectly, with no dominating loop. Its working set overflows every
+//! practical HRT, which is exactly what makes it the stress case in the
+//! paper's Figure 6.
+//!
+//! The analogue procedurally generates [`FUNCS`] functions, each a
+//! linear chain of guarded blocks, short scanning loops and early
+//! returns over an input-dependent "IR" array (~23 conditional sites
+//! per function ⇒ ~6900 total). A driver walks a function table via
+//! register-indirect calls for a fixed number of passes, then halts —
+//! like the original, gcc finishes before the full branch budget.
+
+use crate::codegen::{load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, Reg};
+
+/// Number of generated functions.
+const FUNCS: usize = 300;
+/// IR words per function segment.
+const SEG: usize = 32;
+/// Range of IR values (compare constants are drawn from the same
+/// range).
+const VALUE_RANGE: i64 = 64;
+/// Structural seed: fixes the generated code across data sets.
+const STRUCTURE_SEED: u64 = 0x6CC0_0001;
+
+/// Training data set (`cexp.i` in Table 3).
+pub fn train_input() -> DataSet {
+    DataSet::new("cexp.i", 0x6cc0_0aaa, 40)
+}
+
+/// Testing data set (`dbxout.i` in Table 3).
+pub fn test_input() -> DataSet {
+    DataSet::new("dbxout.i", 0x6cc0_0bbb, 60)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    let table_base = PARAM_WORDS;
+    let ir_base = table_base + FUNCS;
+
+    // --- registers ---
+    let rpasses = Reg::new(2);
+    let rpass = Reg::new(3);
+    let rf = Reg::new(4);
+    let raddr = Reg::new(5);
+    let (t0, t1, t2) = (Reg::new(6), Reg::new(7), Reg::new(8));
+    let rcnt = Reg::new(9);
+    let racc = Reg::new(10);
+    let roff = Reg::new(11); // data offset argument to functions
+    let rnf = Reg::new(12);
+
+    let mut structure = SplitMix64::new(STRUCTURE_SEED);
+    let mut asm = Assembler::new();
+
+    // --- driver ---
+    // Real compilation is bursty and heavily skewed: a small set of hot
+    // functions dominates dynamic execution (their branch sites stay
+    // resident in a 512-entry AHRT) while thousands of cold sites make
+    // up the static footprint. The driver is generated per function:
+    // hot functions run every pass in long bursts, warm/cold functions
+    // only every 2nd–16th pass in short ones. Within a burst the IR
+    // offset cycles with a short period, so each site sees a repeating
+    // outcome pattern — the structure history-based prediction feeds
+    // on.
+    let rrep = Reg::new(13);
+    let rreps = Reg::new(14);
+    let _ = (rf, rnf);
+    load_param(&mut asm, rpasses, 0);
+    asm.li(rpass, 0);
+    let pass_top = asm.bind_fresh("pass");
+    let mut func_labels = Vec::with_capacity(FUNCS);
+    for _ in 0..FUNCS {
+        func_labels.push(asm.fresh_label("func"));
+    }
+    let mut driver_structure = SplitMix64::new(STRUCTURE_SEED ^ 0xdd);
+    // Pre-draw hotness classes so hot functions can be re-visited
+    // between cold ones (short reuse distance, as real utility
+    // functions are called throughout a compilation).
+    let classes: Vec<(i64, i64)> = (0..FUNCS)
+        .map(|_| match driver_structure.index(100) {
+            0..=3 => (1, 8 + driver_structure.index(9) as i64),
+            4..=36 => (
+                [2i64, 4][driver_structure.index(2)],
+                3 + driver_structure.index(6) as i64,
+            ),
+            _ => (
+                [8i64, 16][driver_structure.index(2)],
+                2 + driver_structure.index(4) as i64,
+            ),
+        })
+        .collect();
+    let hot: Vec<usize> = (0..FUNCS).filter(|&f| classes[f].0 == 1).collect();
+    let emit_burst = |asm: &mut Assembler, f: usize, reps: i64| {
+        asm.li(rreps, reps);
+        asm.li(rrep, 0);
+        let burst_top = asm.bind_fresh("burst");
+        // offset cycles with a short period within the burst
+        asm.li(t0, 4);
+        asm.rem(roff, rrep, t0);
+        if f.is_multiple_of(4) {
+            // Every fourth function is reached indirectly (jump-table
+            // style), keeping the register-unconditional branch class
+            // exercised.
+            asm.li(t0, (table_base + f) as i64);
+            asm.ld(raddr, t0, 0);
+            asm.callr(raddr);
+        } else {
+            asm.call(func_labels[f]);
+        }
+        asm.addi(rrep, rrep, 1);
+        asm.blt(rrep, rreps, burst_top);
+    };
+    for f in 0..FUNCS {
+        let (skip, reps) = classes[f];
+        let next_func = asm.fresh_label("next_func");
+        if skip > 1 {
+            let phase = driver_structure.range_i64(0, skip);
+            asm.li(t0, skip);
+            asm.rem(t1, rpass, t0);
+            asm.li(t0, phase);
+            asm.bne(t1, t0, next_func);
+        }
+        emit_burst(&mut asm, f, reps);
+        asm.bind(next_func);
+        // Interleave a hot-function burst every few blocks so hot
+        // sites are re-touched before the AHRT evicts them.
+        if !hot.is_empty() && f % 6 == 5 {
+            let h = hot[(f / 6) % hot.len()];
+            let hot_reps = 4 + driver_structure.index(6) as i64;
+            emit_burst(&mut asm, h, hot_reps);
+        }
+    }
+    asm.addi(rpass, rpass, 1);
+    asm.blt(rpass, rpasses, pass_top);
+    asm.halt();
+
+    // --- generated functions ---
+    let mut entries = Vec::with_capacity(FUNCS);
+    #[allow(clippy::needless_range_loop)] // `f` is the function id, used beyond indexing
+    for f in 0..FUNCS {
+        entries.push(asm.here());
+        asm.bind(func_labels[f]);
+        let seg = (ir_base + f * SEG) as i64;
+        let exit = asm.fresh_label("fn_exit");
+        let sites = 20 + structure.index(7); // ~23 conditional sites
+        asm.li(racc, 0);
+        let mut emitted = 0usize;
+        while emitted < sites {
+            match structure.index(10) {
+                // Short scanning loop over a few IR words (2 sites:
+                // guard + back-edge). Real gcc walks insn chains
+                // constantly, so loops carry a large dynamic share.
+                0..=3 => {
+                    let span = 2 + structure.index(5) as i64;
+                    // Guard cuts lean toward the extremes: scan guards
+                    // in real code (null checks, kind tests) are
+                    // heavily biased.
+                    let cut = if structure.chance(0.6) {
+                        if structure.chance(0.5) {
+                            structure.range_i64(1, VALUE_RANGE / 8)
+                        } else {
+                            structure.range_i64(7 * VALUE_RANGE / 8, VALUE_RANGE)
+                        }
+                    } else {
+                        structure.range_i64(0, VALUE_RANGE)
+                    };
+                    asm.li(rcnt, 0);
+                    let top = asm.bind_fresh("scan");
+                    asm.li(t0, seg);
+                    asm.add(t0, t0, roff);
+                    asm.add(t0, t0, rcnt);
+                    asm.ld(t1, t0, 0);
+                    let skip = asm.fresh_label("scan_skip");
+                    asm.li(t2, cut);
+                    asm.blt(t1, t2, skip);
+                    asm.addi(racc, racc, 1);
+                    asm.bind(skip);
+                    asm.addi(rcnt, rcnt, 1);
+                    asm.li(t0, span);
+                    asm.blt(rcnt, t0, top);
+                    emitted += 2;
+                }
+                // Early return (1 site).
+                4 => {
+                    let slot = structure.index(SEG / 2) as i64;
+                    let cut = structure.range_i64(VALUE_RANGE / 8, VALUE_RANGE / 3);
+                    asm.li(t0, seg + slot);
+                    asm.ld(t1, t0, 0);
+                    asm.li(t2, cut);
+                    let keep_going = asm.fresh_label("no_early_ret");
+                    asm.bge(t1, t2, keep_going);
+                    asm.br(exit);
+                    asm.bind(keep_going);
+                    emitted += 1;
+                }
+                // Guarded block, possibly with a nested test
+                // (1–2 sites).
+                _ => {
+                    // slot + roff stays inside the segment
+                    // (roff < SEG-8, slot < 8).
+                    let slot = structure.index(8) as i64;
+                    // Most guard cuts sit near the value-range
+                    // extremes: real branches are heavily biased, and
+                    // near-balanced sites would make global
+                    // pattern-table interference adversarial.
+                    let cut = if structure.chance(0.7) {
+                        if structure.chance(0.5) {
+                            structure.range_i64(1, VALUE_RANGE / 8)
+                        } else {
+                            structure.range_i64(7 * VALUE_RANGE / 8, VALUE_RANGE)
+                        }
+                    } else {
+                        structure.range_i64(0, VALUE_RANGE)
+                    };
+                    asm.li(t0, seg + slot);
+                    asm.add(t0, t0, roff);
+                    asm.ld(t1, t0, 0);
+                    asm.li(t2, cut);
+                    let skip = asm.fresh_label("blk_skip");
+                    match structure.index(4) {
+                        0 => asm.blt(t1, t2, skip),
+                        1 => asm.bge(t1, t2, skip),
+                        2 => asm.beq(t1, t2, skip),
+                        _ => asm.bne(t1, t2, skip),
+                    }
+                    emitted += 1;
+                    asm.add(racc, racc, t1);
+                    if structure.chance(0.35) && emitted < sites {
+                        // Nested test on the accumulator (biased:
+                        // both masked bits must be clear).
+                        let inner = asm.fresh_label("blk_inner");
+                        asm.andi(t2, racc, 3 << structure.index(4));
+                        asm.bne(t2, Reg::ZERO, inner);
+                        asm.xori(racc, racc, 0x55);
+                        asm.bind(inner);
+                        emitted += 1;
+                    }
+                    // A little integer churn between branches.
+                    asm.slli(t1, t1, 1);
+                    asm.add(racc, racc, t1);
+                    asm.bind(skip);
+                }
+            }
+        }
+        asm.bind(exit);
+        asm.ret();
+    }
+
+    let program = asm.finish().expect("gcc assembles");
+
+    // --- data image (function table needs final addresses) ---
+    let mut data_rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; ir_base + FUNCS * SEG];
+    memory[0] = input.scale as i64; // passes
+    for (i, &idx) in entries.iter().enumerate() {
+        memory[table_base + i] = program.address_of(idx) as i64;
+    }
+    for slot in memory.iter_mut().skip(ir_base) {
+        *slot = data_rng.below(VALUE_RANGE as u64) as i64;
+    }
+
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+
+    #[test]
+    fn static_branch_count_is_paper_scale() {
+        let count = build(&test_input()).program.static_conditional_branches();
+        // The original has 6922; the generator targets ~6900 ± noise.
+        assert!((5_500..8_500).contains(&count), "static branches {count}");
+    }
+
+    #[test]
+    fn halts_like_the_original() {
+        let tiny = DataSet::new("tiny", 1, 2);
+        let trace = run_trace(&build(&tiny), u64::MAX >> 32).unwrap();
+        assert!(trace.conditional_len() > 1_000);
+        assert!(trace.conditional_len() < 10_000_000);
+    }
+
+    #[test]
+    fn huge_static_footprint_is_exercised() {
+        let trace = run_trace(&build(&test_input()), 100_000).unwrap();
+        let stats = trace.stats();
+        assert!(
+            stats.static_conditional_branches > 1_500,
+            "dynamic footprint {}",
+            stats.static_conditional_branches
+        );
+    }
+
+    #[test]
+    fn train_and_test_share_code_differ_in_data() {
+        let train = build(&train_input());
+        let test = build(&test_input());
+        assert_eq!(train.program, test.program);
+        assert_ne!(
+            train.memory[PARAM_WORDS + FUNCS..],
+            test.memory[PARAM_WORDS + FUNCS..]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,723 @@
+//! `li` analogue — an interpreter interpreting recursive programs.
+//!
+//! SPEC'89 `li` is a Lisp interpreter; its branch profile is an
+//! interpreter dispatch switch plus deeply recursive guest programs
+//! (Table 3 trains it on towers-of-hanoi and tests on eight-queens).
+//! The analogue implements a small stack-machine **bytecode VM** in
+//! M88-lite — dispatch if-chain, one handler routine per opcode
+//! (machine `call`/`ret` on every dispatched instruction, exactly the
+//! return-stack churn an interpreter produces) — and runs *bytecode*
+//! builds of towers-of-hanoi (training input) and N-queens
+//! backtracking (testing input). The VM code is identical across data
+//! sets; only the bytecode in data memory differs.
+
+use crate::codegen::{load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use tlat_isa::{Assembler, Reg};
+
+// ---------------------------------------------------------------------
+// Bytecode definition
+// ---------------------------------------------------------------------
+
+/// Bytecode opcodes. One instruction per data word:
+/// `word = opcode << 16 | arg`.
+/// Opcodes are numbered by dynamic frequency (hot ones low), the way a
+/// compiler's profile-guided switch lowering would order a compare
+/// tree: the top-level compares of the dispatch tree are then heavily
+/// biased, as a real interpreter's type-dispatch tests are (most Lisp
+/// objects are conses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(i64)]
+enum Op {
+    Halt = 0,
+    Gload = 1,
+    Push = 2,
+    Gstore = 3,
+    Eq = 4,
+    Lt = 5,
+    Jz = 6,
+    Add = 7,
+    Sub = 8,
+    Jmp = 9,
+    Call = 10,
+    Ret = 11,
+    Getn = 12,
+    Ginc = 13,
+    Jnz = 14,
+    Aget = 15,
+    Aset = 16,
+    Dup = 17,
+    Drop = 18,
+}
+
+/// Number of opcodes (dispatch chain length in the VM).
+const NUM_OPS: i64 = 19;
+
+/// Memory layout constants (fixed, data-set independent).
+const BC_MAX: usize = 512;
+const DSTACK: usize = 512;
+const CSTACK: usize = 512;
+const GLOBALS: usize = 16;
+const ARRAY: usize = 64;
+
+const BC_BASE: usize = PARAM_WORDS;
+const DSTACK_BASE: usize = BC_BASE + BC_MAX;
+const CSTACK_BASE: usize = DSTACK_BASE + DSTACK;
+const G_BASE: usize = CSTACK_BASE + CSTACK;
+const A_BASE: usize = G_BASE + GLOBALS;
+const MEM_TOTAL: usize = A_BASE + ARRAY;
+
+/// Global slots used by the guest programs.
+const G_COUNT: usize = 0; // move/solution counter (GINC target)
+const G_N: usize = 15; // problem size (GETN source)
+const G_R: u16 = 1;
+const G_C: u16 = 2;
+const G_T: u16 = 3;
+const G_SAFE: u16 = 4;
+const G_BV: u16 = 5;
+const G_D1: u16 = 6;
+const G_D2: u16 = 7;
+
+// ---------------------------------------------------------------------
+// A tiny bytecode assembler
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct BcAsm {
+    words: Vec<i64>,
+    fixups: Vec<(usize, usize)>, // (word index, label id)
+    labels: Vec<Option<u16>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BcLabel(usize);
+
+impl BcAsm {
+    fn new() -> Self {
+        BcAsm::default()
+    }
+
+    fn label(&mut self) -> BcLabel {
+        self.labels.push(None);
+        BcLabel(self.labels.len() - 1)
+    }
+
+    fn bind(&mut self, l: BcLabel) {
+        assert!(self.labels[l.0].is_none(), "bytecode label bound twice");
+        self.labels[l.0] = Some(self.words.len() as u16);
+    }
+
+    fn emit(&mut self, op: Op, arg: u16) {
+        self.words.push(((op as i64) << 16) | arg as i64);
+    }
+
+    fn op(&mut self, op: Op) {
+        self.emit(op, 0);
+    }
+
+    fn branch(&mut self, op: Op, target: BcLabel) {
+        self.fixups.push((self.words.len(), target.0));
+        self.emit(op, 0xffff);
+    }
+
+    fn finish(mut self) -> Vec<i64> {
+        for (at, label) in self.fixups {
+            let target = self.labels[label].expect("unbound bytecode label");
+            self.words[at] = (self.words[at] & !0xffff) | target as i64;
+        }
+        assert!(self.words.len() <= BC_MAX, "bytecode too large");
+        self.words
+    }
+}
+
+/// Builds the towers-of-hanoi bytecode (training guest).
+fn hanoi_bytecode() -> Vec<i64> {
+    let mut bc = BcAsm::new();
+    let hanoi = bc.label();
+    let base_case = bc.label();
+    // main: push n; call hanoi; halt
+    bc.op(Op::Getn);
+    bc.branch(Op::Call, hanoi);
+    bc.op(Op::Halt);
+    // hanoi(n): R = n; if n == 0 ret;
+    //   save R; hanoi(n-1); restore; count++; save R; hanoi(n-1); restore
+    bc.bind(hanoi);
+    bc.emit(Op::Gstore, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.branch(Op::Jz, base_case);
+    bc.emit(Op::Gload, G_R); // save R
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Sub);
+    bc.branch(Op::Call, hanoi);
+    bc.emit(Op::Gstore, G_R); // restore R
+    bc.op(Op::Ginc);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Sub);
+    bc.branch(Op::Call, hanoi);
+    bc.emit(Op::Gstore, G_R);
+    bc.op(Op::Ret);
+    bc.bind(base_case);
+    bc.op(Op::Ret);
+    bc.finish()
+}
+
+/// Builds the N-queens backtracking bytecode (testing guest).
+fn queens_bytecode() -> Vec<i64> {
+    let mut bc = BcAsm::new();
+    let place = bc.label();
+    let place_go = bc.label();
+    let colloop = bc.label();
+    let colend = bc.label();
+    let safeloop = bc.label();
+    let safeend = bc.label();
+    let chk_diag = bc.label();
+    let unsafe_l = bc.label();
+    let safenext = bc.label();
+    let colnext = bc.label();
+
+    // main: place(0); halt
+    bc.emit(Op::Push, 0);
+    bc.branch(Op::Call, place);
+    bc.op(Op::Halt);
+
+    // place(row):
+    bc.bind(place);
+    bc.emit(Op::Gstore, G_R);
+    // if row == n { count++; ret }
+    bc.emit(Op::Gload, G_R);
+    bc.op(Op::Getn);
+    bc.op(Op::Eq);
+    bc.branch(Op::Jz, place_go);
+    bc.op(Op::Ginc);
+    bc.op(Op::Ret);
+
+    bc.bind(place_go);
+    bc.emit(Op::Push, 0);
+    bc.emit(Op::Gstore, G_C);
+    // while col < n
+    bc.bind(colloop);
+    bc.emit(Op::Gload, G_C);
+    bc.op(Op::Getn);
+    bc.op(Op::Lt);
+    bc.branch(Op::Jz, colend);
+    // safe = 1; for r in 0..row
+    bc.emit(Op::Push, 1);
+    bc.emit(Op::Gstore, G_SAFE);
+    bc.emit(Op::Push, 0);
+    bc.emit(Op::Gstore, G_T);
+    bc.bind(safeloop);
+    bc.emit(Op::Gload, G_T);
+    bc.emit(Op::Gload, G_R);
+    bc.op(Op::Lt);
+    bc.branch(Op::Jz, safeend);
+    // bv = board[r]
+    bc.emit(Op::Gload, G_T);
+    bc.op(Op::Aget);
+    bc.emit(Op::Gstore, G_BV);
+    // same column?
+    bc.emit(Op::Gload, G_BV);
+    bc.emit(Op::Gload, G_C);
+    bc.op(Op::Eq);
+    bc.branch(Op::Jz, chk_diag);
+    bc.branch(Op::Jmp, unsafe_l);
+    bc.bind(chk_diag);
+    // d1 = bv - c; d2 = r(row) - t
+    bc.emit(Op::Gload, G_BV);
+    bc.emit(Op::Gload, G_C);
+    bc.op(Op::Sub);
+    bc.emit(Op::Gstore, G_D1);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Gload, G_T);
+    bc.op(Op::Sub);
+    bc.emit(Op::Gstore, G_D2);
+    bc.emit(Op::Gload, G_D1);
+    bc.emit(Op::Gload, G_D2);
+    bc.op(Op::Eq);
+    bc.branch(Op::Jnz, unsafe_l);
+    // -d1 == d2 ?
+    bc.emit(Op::Push, 0);
+    bc.emit(Op::Gload, G_D1);
+    bc.op(Op::Sub);
+    bc.emit(Op::Gload, G_D2);
+    bc.op(Op::Eq);
+    bc.branch(Op::Jnz, unsafe_l);
+    bc.branch(Op::Jmp, safenext);
+    bc.bind(unsafe_l);
+    bc.emit(Op::Push, 0);
+    bc.emit(Op::Gstore, G_SAFE);
+    bc.branch(Op::Jmp, safeend);
+    bc.bind(safenext);
+    bc.emit(Op::Gload, G_T);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Add);
+    bc.emit(Op::Gstore, G_T);
+    bc.branch(Op::Jmp, safeloop);
+    bc.bind(safeend);
+    // if safe: board[row] = col; place(row+1)
+    bc.emit(Op::Gload, G_SAFE);
+    bc.branch(Op::Jz, colnext);
+    bc.emit(Op::Gload, G_C);
+    bc.emit(Op::Gload, G_R);
+    bc.op(Op::Aset);
+    bc.emit(Op::Gload, G_R); // save R
+    bc.emit(Op::Gload, G_C); // save C
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Add);
+    bc.branch(Op::Call, place);
+    bc.emit(Op::Gstore, G_C); // restore C
+    bc.emit(Op::Gstore, G_R); // restore R
+    bc.bind(colnext);
+    bc.emit(Op::Gload, G_C);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Add);
+    bc.emit(Op::Gstore, G_C);
+    bc.branch(Op::Jmp, colloop);
+    bc.bind(colend);
+    bc.op(Op::Ret);
+    bc.finish()
+}
+
+/// Builds naive-recursion Fibonacci bytecode: `fib(n) = n < 2 ? n :
+/// fib(n-1) + fib(n-2)`, accumulating `fib(n)` into the counter via
+/// repeated GINC at each base case reached with value 1.
+fn fib_bytecode() -> Vec<i64> {
+    let mut bc = BcAsm::new();
+    let fib = bc.label();
+    let base = bc.label();
+    let skip_count = bc.label();
+    // main: push n; call fib; halt
+    bc.op(Op::Getn);
+    bc.branch(Op::Call, fib);
+    bc.op(Op::Halt);
+    // fib(n): R = n; if n < 2 { if n == 1 count++; ret }
+    bc.bind(fib);
+    bc.emit(Op::Gstore, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 2);
+    bc.op(Op::Lt);
+    bc.branch(Op::Jnz, base);
+    // save R; fib(n-1); restore; save R; fib(n-2); restore; ret
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 1);
+    bc.op(Op::Sub);
+    bc.branch(Op::Call, fib);
+    bc.emit(Op::Gstore, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Gload, G_R);
+    bc.emit(Op::Push, 2);
+    bc.op(Op::Sub);
+    bc.branch(Op::Call, fib);
+    bc.emit(Op::Gstore, G_R);
+    bc.op(Op::Ret);
+    bc.bind(base);
+    // count += n (n is 0 or 1 here): GINC only when n == 1.
+    bc.emit(Op::Gload, G_R);
+    bc.branch(Op::Jz, skip_count);
+    bc.op(Op::Ginc);
+    bc.bind(skip_count);
+    bc.op(Op::Ret);
+    bc.finish()
+}
+
+// ---------------------------------------------------------------------
+// Data sets
+// ---------------------------------------------------------------------
+
+/// Training data set ("tower of hanoi" in Table 3); `scale` is the
+/// number of disks.
+pub fn train_input() -> DataSet {
+    DataSet::new("tower-of-hanoi", 1, 12)
+}
+
+/// Testing data set ("eight queens" in Table 3); `scale` is the board
+/// size.
+pub fn test_input() -> DataSet {
+    DataSet::new("eight-queens", 2, 8)
+}
+
+// ---------------------------------------------------------------------
+// The VM (M88-lite program)
+// ---------------------------------------------------------------------
+
+/// An exploration data set: naive recursive Fibonacci (not part of the
+/// paper's Table 3; useful for extra interpreter coverage). `scale` is
+/// `n`.
+pub fn fib_input() -> DataSet {
+    DataSet::new("fibonacci", 3, 18)
+}
+
+/// Builds the VM program and the guest-bytecode data image for `input`.
+///
+/// The guest is selected by the data set's seed: 1 = hanoi, 2 = queens,
+/// 3 = fibonacci (arbitrary but stable tags; the *program* is the same
+/// in every case).
+pub fn build(input: &DataSet) -> LoadedProgram {
+    // --- data image ---
+    let bytecode = match input.seed {
+        1 => hanoi_bytecode(),
+        3 => fib_bytecode(),
+        _ => queens_bytecode(),
+    };
+    let mut memory = vec![0i64; MEM_TOTAL];
+    // Param 1: rounds to run before halting. Effectively forever by
+    // default (the trace budget governs length); tests overwrite it to
+    // run an exact number of guest executions.
+    memory[1] = 1 << 40;
+    memory[BC_BASE..BC_BASE + bytecode.len()].copy_from_slice(&bytecode);
+    memory[G_BASE + G_N] = input.scale as i64;
+
+    // --- VM registers ---
+    let bpc = Reg::new(20);
+    let word = Reg::new(21);
+    let op = Reg::new(22);
+    let arg = Reg::new(23);
+    let dsp = Reg::new(24); // data-stack pointer (absolute address)
+    let csp = Reg::new(25); // call-stack pointer (absolute address)
+    let (t0, t1, t2) = (Reg::new(2), Reg::new(3), Reg::new(4));
+    let kreg = Reg::new(5);
+
+    let mut asm = Assembler::new();
+    load_param(&mut asm, t0, 0); // touch params for uniformity
+
+    // Opcode handler labels.
+    let handlers: Vec<_> = (0..NUM_OPS).map(|_| asm.fresh_label("handler")).collect();
+
+    let round = asm.bind_fresh("round");
+    asm.li(bpc, 0);
+    asm.li(dsp, DSTACK_BASE as i64);
+    asm.li(csp, CSTACK_BASE as i64);
+
+    let vm_top = asm.bind_fresh("vm_top");
+    let round_end = asm.fresh_label("round_end");
+    // fetch + decode
+    asm.addi(t0, bpc, BC_BASE as i64);
+    asm.ld(word, t0, 0);
+    asm.srli(op, word, 16);
+    asm.andi(arg, word, 0xffff);
+    asm.addi(bpc, bpc, 1);
+    // dispatch: HALT ends the round; every other opcode is a called
+    // handler routine (interpreter-style call/return churn). The
+    // dispatch itself is a binary compare tree — what a compiler emits
+    // for a dense `switch` without a jump table — so individual
+    // compare outcomes are balanced rather than once-in-nineteen.
+    asm.beq(op, Reg::ZERO, round_end);
+    fn emit_dispatch(
+        asm: &mut Assembler,
+        op: Reg,
+        kreg: Reg,
+        handlers: &[tlat_isa::Label],
+        lo: usize,
+        hi: usize,
+        vm_top: tlat_isa::Label,
+    ) {
+        if hi - lo == 1 {
+            asm.call(handlers[lo]);
+            asm.br(vm_top);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let right = asm.fresh_label("dispatch_right");
+        asm.li(kreg, mid as i64);
+        asm.bge(op, kreg, right);
+        emit_dispatch(asm, op, kreg, handlers, lo, mid, vm_top);
+        asm.bind(right);
+        emit_dispatch(asm, op, kreg, handlers, mid, hi, vm_top);
+    }
+    emit_dispatch(&mut asm, op, kreg, &handlers, 1, NUM_OPS as usize, vm_top);
+    asm.bind(round_end);
+    // Decrement the round budget; halt the machine when exhausted.
+    asm.ld(t0, Reg::ZERO, 1);
+    asm.addi(t0, t0, -1);
+    asm.st(t0, Reg::ZERO, 1);
+    let keep_running = asm.fresh_label("more_rounds");
+    asm.bne(t0, Reg::ZERO, keep_running);
+    asm.halt();
+    asm.bind(keep_running);
+    asm.br(round);
+
+    // --- handlers ---
+    // Binary-op helper blocks are emitted inline per handler.
+    let bind_handler = |asm: &mut Assembler, label| {
+        asm.bind(label);
+    };
+
+    // Emits interpreter safety checks — data-stack overflow and
+    // underflow guards — at a handler entry. Real interpreters are full
+    // of such almost-never-taken branches; they contribute biased
+    // static sites exactly as `li`'s type and bounds checks do.
+    let stack_guards = |asm: &mut Assembler| {
+        let no_overflow = asm.fresh_label("no_ovf");
+        asm.li(t2, (DSTACK_BASE + DSTACK - 4) as i64);
+        asm.blt(dsp, t2, no_overflow);
+        asm.addi(dsp, dsp, -1);
+        asm.bind(no_overflow);
+        let no_underflow = asm.fresh_label("no_unf");
+        asm.li(t2, DSTACK_BASE as i64);
+        asm.bge(dsp, t2, no_underflow);
+        asm.li(dsp, DSTACK_BASE as i64);
+        asm.bind(no_underflow);
+    };
+
+    // PUSH: stack[dsp++] = arg
+    bind_handler(&mut asm, handlers[Op::Push as usize]);
+    stack_guards(&mut asm);
+    asm.st(arg, dsp, 0);
+    asm.addi(dsp, dsp, 1);
+    asm.ret();
+
+    // ADD / SUB / LT / EQ: pop b, pop a, push f(a, b)
+    for opcode in [Op::Add, Op::Sub, Op::Lt, Op::Eq] {
+        bind_handler(&mut asm, handlers[opcode as usize]);
+        stack_guards(&mut asm);
+        asm.addi(dsp, dsp, -2);
+        asm.ld(t0, dsp, 0); // a
+        asm.ld(t1, dsp, 1); // b
+        match opcode {
+            Op::Add => asm.add(t0, t0, t1),
+            Op::Sub => asm.sub(t0, t0, t1),
+            Op::Lt => asm.slt(t0, t0, t1),
+            Op::Eq => {
+                asm.sub(t0, t0, t1);
+                asm.slti(t1, t0, 1); // t1 = (diff < 1)
+                asm.li(t2, -1);
+                asm.slt(t2, t2, t0); // t2 = (diff > -1)
+                asm.and(t0, t1, t2); // == iff -1 < diff < 1
+            }
+            _ => unreachable!(),
+        }
+        asm.st(t0, dsp, 0);
+        asm.addi(dsp, dsp, 1);
+        asm.ret();
+    }
+
+    // JMP: bpc = arg
+    bind_handler(&mut asm, handlers[Op::Jmp as usize]);
+    asm.mov(bpc, arg);
+    asm.ret();
+
+    // JZ: pop v; if v == 0 then bpc = arg
+    bind_handler(&mut asm, handlers[Op::Jz as usize]);
+    stack_guards(&mut asm);
+    {
+        asm.addi(dsp, dsp, -1);
+        asm.ld(t0, dsp, 0);
+        let no = asm.fresh_label("jz_no");
+        asm.bne(t0, Reg::ZERO, no);
+        asm.mov(bpc, arg);
+        asm.bind(no);
+        asm.ret();
+    }
+
+    // JNZ: pop v; if v != 0 then bpc = arg
+    bind_handler(&mut asm, handlers[Op::Jnz as usize]);
+    stack_guards(&mut asm);
+    {
+        asm.addi(dsp, dsp, -1);
+        asm.ld(t0, dsp, 0);
+        let no = asm.fresh_label("jnz_no");
+        asm.beq(t0, Reg::ZERO, no);
+        asm.mov(bpc, arg);
+        asm.bind(no);
+        asm.ret();
+    }
+
+    // CALL: cstack[csp++] = bpc; bpc = arg
+    bind_handler(&mut asm, handlers[Op::Call as usize]);
+    stack_guards(&mut asm);
+    asm.st(bpc, csp, 0);
+    asm.addi(csp, csp, 1);
+    asm.mov(bpc, arg);
+    asm.ret();
+
+    // RET: bpc = cstack[--csp]
+    bind_handler(&mut asm, handlers[Op::Ret as usize]);
+    stack_guards(&mut asm);
+    asm.addi(csp, csp, -1);
+    asm.ld(bpc, csp, 0);
+    asm.ret();
+
+    // GINC: G[0] += 1
+    bind_handler(&mut asm, handlers[Op::Ginc as usize]);
+    stack_guards(&mut asm);
+    asm.li(t1, (G_BASE + G_COUNT) as i64);
+    asm.ld(t0, t1, 0);
+    asm.addi(t0, t0, 1);
+    asm.st(t0, t1, 0);
+    asm.ret();
+
+    // GETN: push G[15]
+    bind_handler(&mut asm, handlers[Op::Getn as usize]);
+    stack_guards(&mut asm);
+    asm.li(t1, (G_BASE + G_N) as i64);
+    asm.ld(t0, t1, 0);
+    asm.st(t0, dsp, 0);
+    asm.addi(dsp, dsp, 1);
+    asm.ret();
+
+    // GSTORE: G[arg] = pop
+    bind_handler(&mut asm, handlers[Op::Gstore as usize]);
+    stack_guards(&mut asm);
+    asm.addi(dsp, dsp, -1);
+    asm.ld(t0, dsp, 0);
+    asm.andi(t1, arg, (GLOBALS - 1) as i64);
+    asm.addi(t1, t1, G_BASE as i64);
+    asm.st(t0, t1, 0);
+    asm.ret();
+
+    // GLOAD: push G[arg]
+    bind_handler(&mut asm, handlers[Op::Gload as usize]);
+    stack_guards(&mut asm);
+    asm.andi(t1, arg, (GLOBALS - 1) as i64);
+    asm.addi(t1, t1, G_BASE as i64);
+    asm.ld(t0, t1, 0);
+    asm.st(t0, dsp, 0);
+    asm.addi(dsp, dsp, 1);
+    asm.ret();
+
+    // AGET: idx = pop; push A[idx & 63]
+    bind_handler(&mut asm, handlers[Op::Aget as usize]);
+    stack_guards(&mut asm);
+    asm.addi(dsp, dsp, -1);
+    asm.ld(t0, dsp, 0);
+    asm.andi(t0, t0, (ARRAY - 1) as i64);
+    asm.addi(t0, t0, A_BASE as i64);
+    asm.ld(t1, t0, 0);
+    asm.st(t1, dsp, 0);
+    asm.addi(dsp, dsp, 1);
+    asm.ret();
+
+    // ASET: idx = pop; val = pop; A[idx & 63] = val
+    bind_handler(&mut asm, handlers[Op::Aset as usize]);
+    stack_guards(&mut asm);
+    asm.addi(dsp, dsp, -2);
+    asm.ld(t0, dsp, 1); // idx
+    asm.ld(t1, dsp, 0); // val
+    asm.andi(t0, t0, (ARRAY - 1) as i64);
+    asm.addi(t0, t0, A_BASE as i64);
+    asm.st(t1, t0, 0);
+    asm.ret();
+
+    // DUP
+    bind_handler(&mut asm, handlers[Op::Dup as usize]);
+    stack_guards(&mut asm);
+    asm.ld(t0, dsp, -1);
+    asm.st(t0, dsp, 0);
+    asm.addi(dsp, dsp, 1);
+    asm.ret();
+
+    // DROP
+    bind_handler(&mut asm, handlers[Op::Drop as usize]);
+    stack_guards(&mut asm);
+    asm.addi(dsp, dsp, -1);
+    asm.ret();
+
+    // HALT handler slot (never called; HALT short-circuits in
+    // dispatch). Emit a ret so the label binds to something valid.
+    bind_handler(&mut asm, handlers[Op::Halt as usize]);
+    asm.ret();
+
+    let program = asm.finish().expect("li VM assembles");
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+    use tlat_isa::Interpreter;
+    use tlat_trace::{BranchClass, CountingSink, LimitSink, Trace};
+
+    /// Runs exactly one guest round to the machine halt and returns the
+    /// final G[0] counter.
+    fn run_one_round(input: &DataSet) -> i64 {
+        let loaded = build(input);
+        let mut memory = loaded.memory.clone();
+        memory[1] = 1; // one round, then halt
+        let mut interp = Interpreter::with_memory(&loaded.program, memory);
+        let mut sink = CountingSink::new();
+        let out = interp.run(&mut sink, 200_000_000).unwrap();
+        assert_eq!(out.stop, tlat_isa::StopReason::Halted);
+        interp.memory()[G_BASE + G_COUNT]
+    }
+
+    #[test]
+    fn hanoi_counts_moves() {
+        // hanoi(12) makes exactly 2^12 - 1 = 4095 moves.
+        assert_eq!(run_one_round(&train_input()), 4095);
+    }
+
+    #[test]
+    fn queens_counts_solutions() {
+        // 8-queens has exactly 92 solutions.
+        assert_eq!(run_one_round(&test_input()), 92);
+    }
+
+    #[test]
+    fn fibonacci_counts_fib_n() {
+        // The counter accumulates one per base case reached with value
+        // 1, which is exactly fib(n): fib(18) = 2584.
+        assert_eq!(run_one_round(&fib_input()), 2584);
+    }
+
+    #[test]
+    fn all_guests_share_the_vm_program() {
+        let hanoi = build(&train_input());
+        let queens = build(&test_input());
+        let fib = build(&fib_input());
+        assert_eq!(hanoi.program, queens.program);
+        assert_eq!(hanoi.program, fib.program);
+    }
+
+    #[test]
+    fn interpreter_dispatch_is_call_heavy() {
+        let trace = run_trace(&build(&test_input()), 30_000).unwrap();
+        let calls = trace.iter().filter(|b| b.call).count();
+        let rets = trace
+            .iter()
+            .filter(|b| b.class == BranchClass::Return)
+            .count();
+        // One handler call per dispatched non-HALT opcode.
+        assert!(calls > 2_000, "calls {calls}");
+        assert!((calls as i64 - rets as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn irregular_dispatch_branches() {
+        let trace = run_trace(&build(&test_input()), 30_000).unwrap();
+        let rate = trace.stats().taken_rate;
+        // The dispatch chain is mostly not-taken compares with taken
+        // hits scattered through it; overall rate is mid-range.
+        assert!((0.2..0.95).contains(&rate), "taken rate {rate}");
+    }
+
+    #[test]
+    fn train_and_test_share_code_differ_in_bytecode() {
+        let train = build(&train_input());
+        let test = build(&test_input());
+        assert_eq!(train.program, test.program);
+        assert_ne!(train.memory, test.memory);
+    }
+
+    #[test]
+    fn vm_stacks_stay_in_bounds() {
+        // Executing a long stretch must never fault (stack discipline
+        // in the generated bytecode is balanced).
+        let loaded = build(&train_input());
+        let mut interp = Interpreter::with_memory(&loaded.program, loaded.memory.clone());
+        let mut sink = LimitSink::new(Trace::new(), 100_000);
+        interp.run(&mut sink, u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

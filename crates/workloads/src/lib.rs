@@ -1,0 +1,60 @@
+//! SPEC'89-analogue workloads for the Two-Level Adaptive Training
+//! reproduction.
+//!
+//! The paper evaluates its predictors on nine SPEC benchmarks traced
+//! through a Motorola 88100 simulator. Neither the 1989 SPEC sources,
+//! the compiler, nor the trace tapes are available, so this crate
+//! provides the closest synthetic equivalents: nine M88-lite programs,
+//! one per benchmark, each modelled on the published branch character of
+//! its namesake —
+//!
+//! | Benchmark | Character modelled |
+//! |---|---|
+//! | `eqntott` | recursive quicksort over bit-vector records, early-exit compares |
+//! | `espresso` | boolean cube-set kernels, bit-level data-dependent branches |
+//! | `gcc` | ~6 900 static branch sites, irregular if-trees, finishes early |
+//! | `li` | bytecode-VM interpreter running hanoi (train) / 8-queens (test) |
+//! | `doduc` | Monte Carlo driver over ~1 150 branchy generated routines |
+//! | `fpppp` | huge straight-line FP blocks, ~5 % branch fraction, finishes early |
+//! | `matrix300` | dense matrix kernels, almost pure loop back-edges |
+//! | `spice2g6` | device-model dispatch + Newton inner loops |
+//! | `tomcatv` | mesh relaxation sweeps with max-residual compares |
+//!
+//! Workloads with a distinct training input in the paper's Table 3
+//! (espresso, gcc, li, doduc, spice2g6) expose one here too; the
+//! *program* is identical across a workload's data sets — only the data
+//! memory differs — so Static Training's `Same`/`Diff` comparison is
+//! faithful.
+//!
+//! # Examples
+//!
+//! ```
+//! let gcc = tlat_workloads::by_name("gcc").unwrap();
+//! let trace = gcc.trace_test(10_000)?;
+//! assert_eq!(trace.conditional_len(), 10_000);
+//! # Ok::<(), tlat_isa::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod doduc;
+mod eqntott;
+mod espresso;
+mod fpppp;
+mod gcc;
+mod input;
+mod li;
+mod markov;
+mod matrix300;
+mod registry;
+mod rng;
+mod spice;
+mod tomcatv;
+
+pub use input::DataSet;
+pub use li::{build as build_li_vm, fib_input as li_fibonacci_input};
+pub use markov::{SiteBehavior, SyntheticStream};
+pub use registry::{all, by_name, run_trace, LoadedProgram, Workload, WorkloadKind};
+pub use rng::SplitMix64;

@@ -1,0 +1,219 @@
+//! Synthetic stochastic branch streams.
+//!
+//! For property tests and micro-benchmarks it is useful to generate
+//! branch streams directly, without assembling and interpreting a
+//! program. The [`SyntheticStream`] models a program as a set of static
+//! branch sites, each with one of a few behaviours (biased coin,
+//! periodic loop pattern, two-state Markov chain), visited in random
+//! order.
+
+use crate::rng::SplitMix64;
+use tlat_trace::{BranchRecord, Trace};
+
+/// Behaviour of one synthetic branch site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteBehavior {
+    /// Taken with a fixed probability.
+    Biased(f64),
+    /// A repeating taken/not-taken pattern (e.g. a loop with a fixed
+    /// trip count).
+    Periodic(Vec<bool>),
+    /// Two-state Markov chain: `p_stay_taken` when last outcome was
+    /// taken, `p_go_taken` when it was not.
+    Markov {
+        /// P(taken | last was taken).
+        p_stay_taken: f64,
+        /// P(taken | last was not taken).
+        p_go_taken: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Site {
+    pc: u32,
+    target: u32,
+    behavior: SiteBehavior,
+    phase: usize,
+    last: bool,
+}
+
+/// A generator of synthetic conditional-branch streams.
+///
+/// # Examples
+///
+/// ```
+/// use tlat_workloads::{SiteBehavior, SyntheticStream};
+///
+/// let mut s = SyntheticStream::new(42);
+/// s.add_site(SiteBehavior::Periodic(vec![true, true, false]));
+/// s.add_site(SiteBehavior::Biased(0.9));
+/// let trace = s.generate(1_000);
+/// assert_eq!(trace.conditional_len(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    rng: SplitMix64,
+    sites: Vec<Site>,
+}
+
+impl SyntheticStream {
+    /// Creates an empty stream generator.
+    pub fn new(seed: u64) -> Self {
+        SyntheticStream {
+            rng: SplitMix64::new(seed),
+            sites: Vec::new(),
+        }
+    }
+
+    /// Adds a branch site; returns its pc.
+    pub fn add_site(&mut self, behavior: SiteBehavior) -> u32 {
+        let pc = 0x1000 + self.sites.len() as u32 * 4;
+        self.sites.push(Site {
+            pc,
+            target: pc.wrapping_sub(0x100),
+            behavior,
+            phase: 0,
+            last: true,
+        });
+        pc
+    }
+
+    /// Builds a standard mixed workload: `n` sites, a third biased, a
+    /// third periodic, a third Markov.
+    pub fn mixed(seed: u64, n: usize) -> Self {
+        let mut s = SyntheticStream::new(seed);
+        let mut setup = SplitMix64::new(seed ^ 0xabcd);
+        for i in 0..n {
+            let behavior = match i % 3 {
+                0 => SiteBehavior::Biased(0.05 + 0.9 * setup.unit_f64()),
+                1 => {
+                    let period = 2 + setup.index(10);
+                    let exit = setup.index(period);
+                    SiteBehavior::Periodic((0..period).map(|p| p != exit).collect())
+                }
+                _ => SiteBehavior::Markov {
+                    p_stay_taken: 0.5 + 0.5 * setup.unit_f64(),
+                    p_go_taken: 0.5 * setup.unit_f64(),
+                },
+            };
+            s.add_site(behavior);
+        }
+        s
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when no sites have been added.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Generates the next branch record, visiting a random site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sites have been added.
+    pub fn next_branch(&mut self) -> BranchRecord {
+        assert!(!self.sites.is_empty(), "no branch sites");
+        let which = self.rng.index(self.sites.len());
+        let site = &mut self.sites[which];
+        let taken = match &site.behavior {
+            SiteBehavior::Biased(p) => self.rng.chance(*p),
+            SiteBehavior::Periodic(pattern) => {
+                let t = pattern[site.phase % pattern.len()];
+                site.phase += 1;
+                t
+            }
+            SiteBehavior::Markov {
+                p_stay_taken,
+                p_go_taken,
+            } => {
+                let p = if site.last {
+                    *p_stay_taken
+                } else {
+                    *p_go_taken
+                };
+                self.rng.chance(p)
+            }
+        };
+        site.last = taken;
+        BranchRecord::conditional(site.pc, site.target, taken)
+    }
+
+    /// Generates a trace of `n` conditional branches.
+    pub fn generate(&mut self, n: u64) -> Trace {
+        let mut trace = Trace::with_capacity(n as usize);
+        for _ in 0..n {
+            trace.push(self.next_branch());
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_sites_track_probability() {
+        let mut s = SyntheticStream::new(1);
+        s.add_site(SiteBehavior::Biased(0.8));
+        let trace = s.generate(20_000);
+        let rate = trace.stats().taken_rate;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn periodic_sites_repeat_exactly() {
+        let mut s = SyntheticStream::new(2);
+        s.add_site(SiteBehavior::Periodic(vec![true, false, false]));
+        let trace = s.generate(9);
+        let outcomes: Vec<bool> = trace.iter().map(|b| b.taken).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn markov_sites_show_persistence() {
+        let mut s = SyntheticStream::new(3);
+        s.add_site(SiteBehavior::Markov {
+            p_stay_taken: 0.95,
+            p_go_taken: 0.05,
+        });
+        let trace = s.generate(20_000);
+        // Strong persistence: the outcome repeats the previous one far
+        // more often than chance.
+        let mut same = 0u64;
+        for pair in trace.branches().windows(2) {
+            same += (pair[0].taken == pair[1].taken) as u64;
+        }
+        let frac = same as f64 / (trace.len() - 1) as f64;
+        assert!(frac > 0.85, "persistence {frac}");
+    }
+
+    #[test]
+    fn mixed_builder_creates_n_sites() {
+        let mut s = SyntheticStream::mixed(4, 30);
+        assert_eq!(s.len(), 30);
+        let trace = s.generate(5_000);
+        assert_eq!(trace.stats().static_conditional_branches, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "no branch sites")]
+    fn empty_stream_panics() {
+        SyntheticStream::new(5).next_branch();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticStream::mixed(6, 10).generate(1_000);
+        let b = SyntheticStream::mixed(6, 10).generate(1_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! `matrix300` analogue — dense matrix kernels.
+//!
+//! The SPEC'89 `matrix300` benchmark multiplies 300×300 matrices; its
+//! branch behaviour is almost entirely regular loop back-edges, which is
+//! why the paper reports near-perfect accuracy for loop-oriented
+//! predictors (even BTFN reaches ~98 % here). This analogue runs a
+//! suite of dense kernels — blocked matrix multiply, row sums, SAXPY
+//! and transpose — over an n×n matrix, forever. The multiply is emitted
+//! once per row-stripe (six specialized instances, as a blocking
+//! compiler would), giving a static conditional-branch count in the
+//! spirit of the original's 213.
+
+use crate::codegen::{counted_loop, for_range, load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, FReg, Reg};
+
+/// Number of row stripes the multiply kernel is specialized over.
+const STRIPES: usize = 6;
+
+/// The workload's single data set (Table 3 lists no alternative inputs
+/// for matrix300).
+pub fn test_input() -> DataSet {
+    DataSet::new("matrix300-builtin", 0x3001, 64)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    // Round the matrix dimension up to a multiple of the stripe count.
+    let n = input.scale.div_ceil(STRIPES) * STRIPES;
+    let n2 = n * n;
+
+    // --- data image ---
+    let mut rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; PARAM_WORDS + 3 * n2 + n];
+    memory[0] = n as i64;
+    memory[1] = (n / STRIPES) as i64;
+    let a_base = PARAM_WORDS;
+    let b_base = PARAM_WORDS + n2;
+    for i in 0..n2 {
+        memory[a_base + i] = (rng.unit_f64() * 2.0 - 1.0).to_bits() as i64;
+        memory[b_base + i] = (rng.unit_f64() * 2.0 - 1.0).to_bits() as i64;
+    }
+
+    // --- registers ---
+    let (ri, rj, rk) = (Reg::new(2), Reg::new(3), Reg::new(4));
+    let rn = Reg::new(5);
+    let (ra, rb, rc, rv) = (Reg::new(6), Reg::new(7), Reg::new(8), Reg::new(9));
+    let (t0, t1, t2) = (Reg::new(10), Reg::new(11), Reg::new(12));
+    let rlim = Reg::new(13);
+    let rstripe = Reg::new(14);
+    let rn2 = Reg::new(15);
+    let (acc, x, y, eps) = (FReg::new(1), FReg::new(2), FReg::new(3), FReg::new(4));
+
+    let mut asm = Assembler::new();
+    load_param(&mut asm, rn, 0);
+    load_param(&mut asm, rstripe, 1);
+    asm.mul(rn2, rn, rn);
+    asm.li(ra, PARAM_WORDS as i64);
+    asm.add(rb, ra, rn2);
+    asm.add(rc, rb, rn2);
+    asm.add(rv, rc, rn2);
+    asm.fli(eps, 1.0e-3);
+
+    // Kernels are subroutines (DGEMM-style library routines), called
+    // from the repeat loop.
+    let n_kernels = STRIPES + 3; // stripes + rowsum + saxpy + transpose
+    let kernel_labels: Vec<_> = (0..n_kernels).map(|_| asm.fresh_label("kernel")).collect();
+    let forever = asm.bind_fresh("forever");
+    for &kernel in &kernel_labels {
+        asm.call(kernel);
+    }
+    asm.br(forever);
+
+    // C = A * B, one specialized loop nest per row stripe.
+    #[allow(clippy::needless_range_loop)] // `stripe` selects the row range too
+    for stripe in 0..STRIPES {
+        asm.bind(kernel_labels[stripe]);
+        // i in [stripe*h, (stripe+1)*h)
+        asm.li(t0, stripe as i64);
+        asm.mul(ri, t0, rstripe);
+        asm.addi(t0, t0, 1);
+        asm.mul(rlim, t0, rstripe);
+        counted_loop(&mut asm, ri, rlim, |asm| {
+            asm.li(rj, 0);
+            counted_loop(asm, rj, rn, |asm| {
+                asm.fli(acc, 0.0);
+                asm.li(rk, 0);
+                counted_loop(asm, rk, rn, |asm| {
+                    // acc += A[i*n+k] * B[k*n+j]
+                    asm.mul(t0, ri, rn);
+                    asm.add(t0, t0, rk);
+                    asm.add(t0, t0, ra);
+                    asm.fld(x, t0, 0);
+                    asm.mul(t1, rk, rn);
+                    asm.add(t1, t1, rj);
+                    asm.add(t1, t1, rb);
+                    asm.fld(y, t1, 0);
+                    asm.fmul(x, x, y);
+                    asm.fadd(acc, acc, x);
+                });
+                // C[i*n+j] = acc
+                asm.mul(t2, ri, rn);
+                asm.add(t2, t2, rj);
+                asm.add(t2, t2, rc);
+                asm.fst(acc, t2, 0);
+            });
+        });
+        asm.ret();
+    }
+
+    // V[i] = sum_j C[i][j]
+    asm.bind(kernel_labels[STRIPES]);
+    for_range(&mut asm, ri, rn, |asm| {
+        asm.fli(acc, 0.0);
+        asm.mul(t0, ri, rn);
+        asm.add(t0, t0, rc);
+        asm.li(rj, 0);
+        counted_loop(asm, rj, rn, |asm| {
+            asm.add(t1, t0, rj);
+            asm.fld(x, t1, 0);
+            asm.fadd(acc, acc, x);
+        });
+        asm.add(t2, rv, ri);
+        asm.fst(acc, t2, 0);
+    });
+    asm.ret();
+
+    // A += eps * C  (flat SAXPY over n^2 elements)
+    asm.bind(kernel_labels[STRIPES + 1]);
+    for_range(&mut asm, rk, rn2, |asm| {
+        asm.add(t0, ra, rk);
+        asm.add(t1, rc, rk);
+        asm.fld(x, t0, 0);
+        asm.fld(y, t1, 0);
+        asm.fmul(y, y, eps);
+        asm.fadd(x, x, y);
+        asm.fst(x, t0, 0);
+    });
+    asm.ret();
+
+    // B = C^T
+    asm.bind(kernel_labels[STRIPES + 2]);
+    for_range(&mut asm, ri, rn, |asm| {
+        asm.li(rj, 0);
+        counted_loop(asm, rj, rn, |asm| {
+            asm.mul(t0, ri, rn);
+            asm.add(t0, t0, rj);
+            asm.add(t0, t0, rc);
+            asm.fld(x, t0, 0);
+            asm.mul(t1, rj, rn);
+            asm.add(t1, t1, ri);
+            asm.add(t1, t1, rb);
+            asm.fst(x, t1, 0);
+        });
+    });
+    asm.ret();
+
+    let program = asm.finish().expect("matrix300 assembles");
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+
+    #[test]
+    fn runs_and_is_loop_dominated() {
+        let loaded = build(&test_input());
+        let trace = run_trace(&loaded, 30_000).expect("executes");
+        assert_eq!(trace.conditional_len(), 30_000);
+        let stats = trace.stats();
+        // Loop back-edges dominate: the taken rate is very high.
+        assert!(stats.taken_rate > 0.9, "taken rate {}", stats.taken_rate);
+        // Static conditional branch count of the program (a short trace
+        // window only exercises the first loop nests).
+        let static_count = loaded.program.static_conditional_branches();
+        assert!(
+            (20..400).contains(&static_count),
+            "static branches {static_count}"
+        );
+    }
+
+    #[test]
+    fn fp_heavy_instruction_mix() {
+        let loaded = build(&test_input());
+        let trace = run_trace(&loaded, 20_000).expect("executes");
+        use tlat_trace::InstClass;
+        let mix = trace.inst_mix();
+        assert!(
+            mix.fraction(InstClass::FpAlu) + mix.fraction(InstClass::Mem)
+                > mix.fraction(InstClass::Branch),
+            "FP+mem should dominate branches"
+        );
+        // The paper's FP benchmarks are ~5 % branches; allow a loose
+        // upper bound for the analogue.
+        assert!(mix.fraction(InstClass::Branch) < 0.2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

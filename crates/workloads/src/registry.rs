@@ -1,0 +1,250 @@
+//! The workload registry: the nine SPEC'89-analogue benchmarks.
+
+use crate::input::DataSet;
+use std::fmt;
+use tlat_isa::{ExecError, Interpreter, Program};
+use tlat_trace::{LimitSink, Trace};
+
+/// Integer vs floating-point benchmark (the paper groups its geometric
+/// means this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Integer benchmark (eqntott, espresso, gcc, li).
+    Integer,
+    /// Floating-point benchmark (doduc, fpppp, matrix300, spice2g6,
+    /// tomcatv).
+    FloatingPoint,
+}
+
+/// An assembled workload program plus its data-memory image.
+#[derive(Debug, Clone)]
+pub struct LoadedProgram {
+    /// The program (identical across a workload's data sets).
+    pub program: Program,
+    /// The input-dependent data memory image.
+    pub memory: Vec<i64>,
+}
+
+/// Executes a loaded program until `max_conditional` conditional
+/// branches have been traced (or the program halts first, as `gcc` and
+/// `fpppp` do in the paper).
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] from the interpreter; workload programs
+/// are expected never to fault, so an error indicates a workload bug.
+pub fn run_trace(loaded: &LoadedProgram, max_conditional: u64) -> Result<Trace, ExecError> {
+    let mut interp = Interpreter::with_memory(&loaded.program, loaded.memory.clone());
+    let capacity = usize::try_from(max_conditional)
+        .unwrap_or(usize::MAX)
+        .min(4 << 20);
+    let mut sink = LimitSink::new(Trace::with_capacity(capacity), max_conditional);
+    // Generous fuel: no workload needs more than ~200 instructions per
+    // conditional branch; the limit only guards against runaway loops.
+    let fuel = max_conditional.saturating_mul(400).max(1 << 22);
+    interp.run(&mut sink, fuel)?;
+    Ok(sink.into_inner())
+}
+
+/// One benchmark in the suite.
+#[derive(Clone)]
+pub struct Workload {
+    /// Benchmark name (the SPEC benchmark it is modelled on).
+    pub name: &'static str,
+    /// Integer or floating point.
+    pub kind: WorkloadKind,
+    /// The original's static conditional-branch count (Table 1), for
+    /// reference and reporting.
+    pub paper_static_branches: usize,
+    /// Builds the program + memory image for a data set.
+    builder: fn(&DataSet) -> LoadedProgram,
+    /// Training data set (Table 3), when the paper has a distinct one.
+    train: Option<DataSet>,
+    /// Testing data set (always present).
+    test: DataSet,
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("train", &self.train)
+            .field("test", &self.test)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Builds the program and data image for an arbitrary data set.
+    pub fn build(&self, input: &DataSet) -> LoadedProgram {
+        (self.builder)(input)
+    }
+
+    /// The testing data set (what every scheme is evaluated on).
+    pub fn test_input(&self) -> &DataSet {
+        &self.test
+    }
+
+    /// The training data set, when Table 3 lists one distinct from the
+    /// test set (espresso, gcc, li, doduc, spice2g6).
+    pub fn train_input(&self) -> Option<&DataSet> {
+        self.train.as_ref()
+    }
+
+    /// Traces the testing data set.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_trace`].
+    pub fn trace_test(&self, max_conditional: u64) -> Result<Trace, ExecError> {
+        run_trace(&self.build(&self.test), max_conditional)
+    }
+
+    /// Traces the training data set, if any.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_trace`].
+    pub fn trace_train(&self, max_conditional: u64) -> Result<Option<Trace>, ExecError> {
+        match &self.train {
+            Some(input) => Ok(Some(run_trace(&self.build(input), max_conditional)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// The nine benchmarks, in the paper's listing order (Table 1).
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "eqntott",
+            kind: WorkloadKind::Integer,
+            paper_static_branches: 277,
+            builder: crate::eqntott::build,
+            train: None,
+            test: crate::eqntott::test_input(),
+        },
+        Workload {
+            name: "espresso",
+            kind: WorkloadKind::Integer,
+            paper_static_branches: 556,
+            builder: crate::espresso::build,
+            train: Some(crate::espresso::train_input()),
+            test: crate::espresso::test_input(),
+        },
+        Workload {
+            name: "gcc",
+            kind: WorkloadKind::Integer,
+            paper_static_branches: 6922,
+            builder: crate::gcc::build,
+            train: Some(crate::gcc::train_input()),
+            test: crate::gcc::test_input(),
+        },
+        Workload {
+            name: "li",
+            kind: WorkloadKind::Integer,
+            paper_static_branches: 489,
+            builder: crate::li::build,
+            train: Some(crate::li::train_input()),
+            test: crate::li::test_input(),
+        },
+        Workload {
+            name: "doduc",
+            kind: WorkloadKind::FloatingPoint,
+            paper_static_branches: 1149,
+            builder: crate::doduc::build,
+            train: Some(crate::doduc::train_input()),
+            test: crate::doduc::test_input(),
+        },
+        Workload {
+            name: "fpppp",
+            kind: WorkloadKind::FloatingPoint,
+            paper_static_branches: 653,
+            builder: crate::fpppp::build,
+            train: None,
+            test: crate::fpppp::test_input(),
+        },
+        Workload {
+            name: "matrix300",
+            kind: WorkloadKind::FloatingPoint,
+            paper_static_branches: 213,
+            builder: crate::matrix300::build,
+            train: None,
+            test: crate::matrix300::test_input(),
+        },
+        Workload {
+            name: "spice2g6",
+            kind: WorkloadKind::FloatingPoint,
+            paper_static_branches: 606,
+            builder: crate::spice::build,
+            train: Some(crate::spice::train_input()),
+            test: crate::spice::test_input(),
+        },
+        Workload {
+            name: "tomcatv",
+            kind: WorkloadKind::FloatingPoint,
+            paper_static_branches: 370,
+            builder: crate::tomcatv::build,
+            train: None,
+            test: crate::tomcatv::test_input(),
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_nine_benchmarks() {
+        let ws = all();
+        assert_eq!(ws.len(), 9);
+        let integers = ws
+            .iter()
+            .filter(|w| w.kind == WorkloadKind::Integer)
+            .count();
+        assert_eq!(integers, 4);
+    }
+
+    #[test]
+    fn table3_training_sets() {
+        // The paper trains five benchmarks on distinct data sets and
+        // excludes eqntott, matrix300, fpppp, tomcatv.
+        let with_train: Vec<&str> = all()
+            .iter()
+            .filter(|w| w.train_input().is_some())
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(
+            with_train,
+            vec!["espresso", "gcc", "li", "doduc", "spice2g6"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("nasa7").is_none()); // excluded in the paper too
+    }
+
+    #[test]
+    fn train_and_test_share_static_code() {
+        for w in all() {
+            if let Some(train) = w.train_input() {
+                let a = w.build(train);
+                let b = w.build(w.test_input());
+                assert_eq!(
+                    a.program, b.program,
+                    "{}: programs must be identical across data sets",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! `tomcatv` analogue — vectorized mesh generation / relaxation.
+//!
+//! SPEC'89 `tomcatv` repeatedly relaxes 2D coordinate meshes and tracks
+//! the maximum residual. Branch behaviour is dominated by regular
+//! nested-loop back-edges, with a sprinkle of data-dependent
+//! max-reduction compares that become rarer as the mesh converges. The
+//! analogue runs Jacobi sweeps over two n×n meshes, emitted as
+//! row-stripe-specialized kernels, with a residual max reduction and a
+//! periodic re-initialization when converged.
+
+use crate::codegen::{counted_loop, for_range, load_param, PARAM_WORDS};
+use crate::input::DataSet;
+use crate::registry::LoadedProgram;
+use crate::rng::SplitMix64;
+use tlat_isa::{Assembler, FReg, Reg};
+
+/// Row stripes the sweep kernel is specialized over.
+const STRIPES: usize = 8;
+
+/// The workload's single data set.
+pub fn test_input() -> DataSet {
+    DataSet::new("tomcatv-builtin", 0x70c0, 64)
+}
+
+/// Builds the program and data image for `input`.
+pub fn build(input: &DataSet) -> LoadedProgram {
+    let n = input.scale.div_ceil(STRIPES) * STRIPES;
+    let n2 = n * n;
+
+    let mut rng = SplitMix64::new(input.seed);
+    let mut memory = vec![0i64; PARAM_WORDS + 4 * n2];
+    memory[0] = n as i64;
+    memory[1] = ((n - 2) / STRIPES) as i64; // interior rows per stripe
+    let x_base = PARAM_WORDS;
+    let y_base = PARAM_WORDS + n2;
+    for i in 0..n2 {
+        memory[x_base + i] = (rng.unit_f64() * 4.0 - 2.0).to_bits() as i64;
+        memory[y_base + i] = (rng.unit_f64() * 4.0 - 2.0).to_bits() as i64;
+    }
+
+    let (ri, rj) = (Reg::new(2), Reg::new(3));
+    let rn = Reg::new(4);
+    let (rx, ry, rxn, ryn) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
+    let (t0, t1) = (Reg::new(9), Reg::new(10));
+    let rlim = Reg::new(11);
+    let rstripe = Reg::new(12);
+    let rn2 = Reg::new(13);
+    let rnm1 = Reg::new(14);
+    let (acc, u, quarter, rmax, diff, tol) = (
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+        FReg::new(6),
+    );
+
+    let mut asm = Assembler::new();
+    load_param(&mut asm, rn, 0);
+    load_param(&mut asm, rstripe, 1);
+    asm.mul(rn2, rn, rn);
+    asm.addi(rnm1, rn, -1);
+    asm.li(rx, PARAM_WORDS as i64);
+    asm.add(ry, rx, rn2);
+    asm.add(rxn, ry, rn2);
+    asm.add(ryn, rxn, rn2);
+    asm.fli(quarter, 0.25);
+    asm.fli(tol, 1.0e-6);
+
+    // Sweep stripes and the copy pass are subroutines, as the
+    // original's vectorized loops live in separate routines.
+    let n_routines = 2 * STRIPES + 1;
+    let routine_labels: Vec<_> = (0..n_routines)
+        .map(|_| asm.fresh_label("routine"))
+        .collect();
+    let forever = asm.bind_fresh("sweep");
+    asm.fli(rmax, 0.0);
+    for &routine in &routine_labels {
+        asm.call(routine);
+    }
+    let finish_label = asm.fresh_label("finish_sweep");
+    asm.br(finish_label);
+
+    // One Jacobi sweep per mesh, specialized per row stripe.
+    for (mesh, (src, dst)) in [(rx, rxn), (ry, ryn)].into_iter().enumerate() {
+        for stripe in 0..STRIPES {
+            asm.bind(routine_labels[mesh * STRIPES + stripe]);
+            // i in [1 + stripe*h, 1 + (stripe+1)*h)
+            asm.li(t0, stripe as i64);
+            asm.mul(ri, t0, rstripe);
+            asm.addi(ri, ri, 1);
+            asm.addi(t0, t0, 1);
+            asm.mul(rlim, t0, rstripe);
+            asm.addi(rlim, rlim, 1);
+            counted_loop(&mut asm, ri, rlim, |asm| {
+                asm.li(rj, 1);
+                counted_loop(asm, rj, rnm1, |asm| {
+                    // u = 0.25*(S[i-1][j] + S[i+1][j] + S[i][j-1] + S[i][j+1])
+                    asm.mul(t0, ri, rn);
+                    asm.add(t0, t0, rj);
+                    asm.add(t0, t0, src);
+                    asm.fld(acc, t0, 0); // S[i][j] (for residual)
+                    asm.sub(t1, t0, rn);
+                    asm.fld(u, t1, 0);
+                    asm.add(t1, t0, rn);
+                    asm.fld(diff, t1, 0);
+                    asm.fadd(u, u, diff);
+                    asm.fld(diff, t0, -1);
+                    asm.fadd(u, u, diff);
+                    asm.fld(diff, t0, 1);
+                    asm.fadd(u, u, diff);
+                    asm.fmul(u, u, quarter);
+                    // residual |u - S[i][j]|, max-reduction branch. The
+                    // rare case (a new maximum) is the taken forward
+                    // branch, the layout compilers produce for unlikely
+                    // updates.
+                    asm.fsub(diff, u, acc);
+                    asm.fabs(diff, diff);
+                    let new_max = asm.fresh_label("new_max");
+                    let after_max = asm.fresh_label("after_max");
+                    asm.fbge(diff, rmax, new_max);
+                    asm.br(after_max);
+                    asm.bind(new_max);
+                    asm.fmov(rmax, diff);
+                    asm.bind(after_max);
+                    // D[i][j] = u
+                    asm.sub(t1, t0, src);
+                    asm.add(t1, t1, dst);
+                    asm.fst(u, t1, 0);
+                });
+            });
+            asm.ret();
+        }
+    }
+
+    // Copy the new meshes back (interior only would be enough; flat
+    // copy keeps the kernel vectorizable, as the original is).
+    asm.bind(routine_labels[2 * STRIPES]);
+    for (src, dst) in [(rxn, rx), (ryn, ry)] {
+        for_range(&mut asm, rj, rn2, |asm| {
+            asm.add(t0, src, rj);
+            asm.fld(u, t0, 0);
+            asm.add(t1, dst, rj);
+            asm.fst(u, t1, 0);
+        });
+    }
+    asm.ret();
+
+    // Convergence: once the mesh has relaxed, perturb the boundary so
+    // the computation keeps running (the trace budget governs length).
+    asm.bind(finish_label);
+    let not_converged = asm.fresh_label("not_converged");
+    asm.fbge(rmax, tol, not_converged);
+    for_range(&mut asm, rj, rn, |asm| {
+        asm.add(t0, rx, rj); // top row
+        asm.fld(u, t0, 0);
+        asm.fadd(u, u, quarter);
+        asm.fst(u, t0, 0);
+    });
+    asm.bind(not_converged);
+    asm.br(forever);
+
+    let program = asm.finish().expect("tomcatv assembles");
+    LoadedProgram { program, memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::run_trace;
+
+    #[test]
+    fn runs_and_is_loop_dominated() {
+        let trace = run_trace(&build(&test_input()), 30_000).expect("executes");
+        assert_eq!(trace.conditional_len(), 30_000);
+        let stats = trace.stats();
+        assert!(stats.taken_rate > 0.4, "taken rate {}", stats.taken_rate);
+        assert!(
+            (20..500).contains(&stats.static_conditional_branches),
+            "static branches {}",
+            stats.static_conditional_branches
+        );
+    }
+
+    #[test]
+    fn residual_branch_is_data_dependent() {
+        // The max-reduction branch must fire sometimes but not always:
+        // its taken rate sits strictly between 0 and 1.
+        let loaded = build(&test_input());
+        let trace = run_trace(&loaded, 50_000).unwrap();
+        use std::collections::HashMap;
+        let mut per_site: HashMap<u32, (u64, u64)> = HashMap::new();
+        for b in trace.iter() {
+            if b.class == tlat_trace::BranchClass::Conditional {
+                let e = per_site.entry(b.pc).or_default();
+                e.0 += b.taken as u64;
+                e.1 += 1;
+            }
+        }
+        let mixed = per_site.values().filter(|(t, n)| *t > 0 && t < n).count();
+        assert!(mixed >= 4, "expected data-dependent branches, got {mixed}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_trace(&build(&test_input()), 5_000).unwrap();
+        let b = run_trace(&build(&test_input()), 5_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! Where does a predictor lose? Attribute every misprediction to its
+//! branch site and watch the warmup curve.
+//!
+//! ```text
+//! cargo run --release --example diagnostics
+//! ```
+
+use two_level_adaptive::core::{Predictor, TwoLevelAdaptive, TwoLevelConfig};
+use two_level_adaptive::sim::{windowed_accuracy, worst_sites_report};
+use two_level_adaptive::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = by_name("gcc").expect("gcc is in the suite");
+    let trace = workload.trace_test(150_000)?;
+
+    // Worst-site attribution: which static branches cost the most?
+    let mut predictor = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+    println!("{} on gcc:", predictor.name());
+    println!("{}", worst_sites_report(&mut predictor, &trace, 10));
+
+    // Warmup: windowed accuracy from cold tables to steady state.
+    let mut fresh = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+    let window = trace.conditional_len() / 15;
+    println!("warmup curve (windows of {window} conditional branches):");
+    for (i, acc) in windowed_accuracy(&mut fresh, &trace, window)
+        .iter()
+        .enumerate()
+    {
+        let bar = "#".repeat(((acc - 0.5).max(0.0) * 100.0) as usize);
+        println!("  window {i:>2}  {:>6.2} %  {bar}", acc * 100.0);
+    }
+    println!(
+        "\nThe first window carries the cold-start cost (all-ones histories, \
+         untrained pattern automata); the paper's accuracy figures correspond \
+         to the flat tail."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! How much history is enough? Sweep the history-register length on a
+//! synthetic stream of periodic branches and watch accuracy climb to
+//! the asymptote (the paper's Figure 7 effect, isolated).
+//!
+//! ```text
+//! cargo run --release --example history_depth
+//! ```
+
+use two_level_adaptive::core::{HrtConfig, TwoLevelAdaptive, TwoLevelConfig};
+use two_level_adaptive::sim::simulate;
+use two_level_adaptive::workloads::{SiteBehavior, SyntheticStream};
+
+fn main() {
+    // Branch sites with loop-like periodic patterns of period 3..=14:
+    // a k-bit history disambiguates a pattern only once k covers its
+    // period.
+    let mut stream = SyntheticStream::new(7);
+    for period in 3..=14 {
+        let exit = period / 2;
+        stream.add_site(SiteBehavior::Periodic(
+            (0..period).map(|p| p != exit).collect(),
+        ));
+    }
+    let trace = stream.generate(400_000);
+
+    println!("history bits -> accuracy on periodic branches (periods 3..=14)\n");
+    for bits in [2u8, 4, 6, 8, 10, 12, 14, 16] {
+        let mut predictor = TwoLevelAdaptive::new(TwoLevelConfig {
+            history_bits: bits,
+            hrt: HrtConfig::Ideal,
+            ..TwoLevelConfig::paper_default()
+        });
+        let result = simulate(&mut predictor, &trace);
+        let bar = "#".repeat(((result.accuracy() - 0.5).max(0.0) * 80.0) as usize);
+        println!("{bits:>3} bits  {:6.2} %  {bar}", result.accuracy() * 100.0);
+    }
+    println!(
+        "\nEach extra pair of history bits resolves longer periods; past the\n\
+         longest period in the workload the curve flattens — the asymptote\n\
+         the paper reports beyond 12 bits."
+    );
+}

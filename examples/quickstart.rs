@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's headline predictor, feed it a branch
+//! stream, and read off its accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use two_level_adaptive::core::{
+    LeeSmithBtb, LeeSmithConfig, Predictor, TwoLevelAdaptive, TwoLevelConfig,
+};
+use two_level_adaptive::trace::BranchRecord;
+
+fn main() {
+    // The paper's headline configuration:
+    // AT(AHRT(512,12SR), PT(2^12,A2)).
+    let mut two_level = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+    // The classic baseline it dethroned: a 2-bit counter per branch.
+    let mut btb = LeeSmithBtb::new(LeeSmithConfig::paper_default());
+
+    // A branch stream no per-branch counter can learn: a loop that is
+    // taken twice then skips, i.e. the repeating pattern T T N.
+    let pattern = [true, true, false];
+    let mut at_correct = 0u32;
+    let mut ls_correct = 0u32;
+    let mut total = 0u32;
+    for _ in 0..1_000 {
+        for &taken in &pattern {
+            let branch = BranchRecord::conditional(0x1000, 0x0f00, taken);
+            at_correct += (two_level.predict(&branch) == taken) as u32;
+            ls_correct += (btb.predict(&branch) == taken) as u32;
+            two_level.update(&branch);
+            btb.update(&branch);
+            total += 1;
+        }
+    }
+
+    println!("branch pattern        : T T N repeating, {total} branches");
+    println!(
+        "{:<22}: {:5.2} % accuracy",
+        two_level.name(),
+        at_correct as f64 / total as f64 * 100.0
+    );
+    println!(
+        "{:<22}: {:5.2} % accuracy",
+        btb.name(),
+        ls_correct as f64 / total as f64 * 100.0
+    );
+    println!();
+    println!(
+        "The two-level scheme stores the last 12 outcomes per branch and \
+         looks the pattern up in a table of 2-bit counters — after warmup \
+         it knows exactly where it is inside the T T N cycle. The per-branch \
+         counter only ever sees 'mostly taken' and keeps missing the N."
+    );
+}

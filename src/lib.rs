@@ -1,0 +1,47 @@
+//! Two-Level Adaptive Training branch prediction — a reproduction of
+//! Yeh & Patt, MICRO-24 (1991).
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! * [`core`] — the predictors: the Two-Level Adaptive Training scheme
+//!   and every comparison scheme the paper simulates.
+//! * [`trace`] — branch/instruction trace model.
+//! * [`isa`] — the M88-lite ISA, assembler and tracing interpreter that
+//!   substitutes for the paper's Motorola 88100 ISIM.
+//! * [`workloads`] — nine SPEC'89-analogue benchmark programs with
+//!   train/test data sets.
+//! * [`sim`] — the trace-driven simulation engine, the Table 2
+//!   configuration registry and the experiment harness that regenerates
+//!   every table and figure.
+//!
+//! # Quickstart
+//!
+//! Simulate the headline configuration — `AT(AHRT(512,12SR),
+//! PT(2^12,A2))` — on a synthetic loop trace:
+//!
+//! ```
+//! use two_level_adaptive::core::{Predictor, TwoLevelAdaptive, TwoLevelConfig};
+//! use two_level_adaptive::trace::BranchRecord;
+//!
+//! let mut at = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+//! let mut correct = 0;
+//! let total = 1000;
+//! for i in 0..total {
+//!     // A loop that is taken three times then skipped once.
+//!     let taken = i % 4 != 3;
+//!     let branch = BranchRecord::conditional(0x1000, 0x0f00, taken);
+//!     if at.predict(&branch) == taken {
+//!         correct += 1;
+//!     }
+//!     at.update(&branch);
+//! }
+//! // After warmup the 12-bit history disambiguates every position in
+//! // the period-4 pattern.
+//! assert!(correct as f64 / total as f64 > 0.95);
+//! ```
+
+pub use tlat_core as core;
+pub use tlat_isa as isa;
+pub use tlat_sim as sim;
+pub use tlat_trace as trace;
+pub use tlat_workloads as workloads;
