@@ -13,38 +13,39 @@ use tlat_core::TwoLevelConfig;
 use tlat_sim::{simulate_delayed, DelayOptions, Report};
 
 fn main() {
-    let harness = tlat_bench::harness("ablate_delay");
-    harness.prewarm();
-    let delays = [0usize, 1, 2, 4, 8, 16];
-    let mut report = Report::new(
-        "Ablation: prediction accuracy vs outcome-resolution delay (AT, AHRT 512, 12SR, A2)",
-        harness
-            .workloads()
-            .iter()
-            .map(|w| w.name.to_owned())
-            .collect(),
-    );
-    for delay in delays {
-        let mut row = Vec::new();
-        for w in harness.workloads() {
-            let trace = harness.store().test(w);
-            let mut p = tlat_core::TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
-            let out = simulate_delayed(
-                &mut p,
-                &trace,
-                DelayOptions {
-                    resolve_delay: delay,
-                    ras_entries: 16,
-                },
-            );
-            row.push(Some(out.result.accuracy()));
+    tlat_bench::run_report("ablate_delay", |harness| {
+        harness.prewarm();
+        let delays = [0usize, 1, 2, 4, 8, 16];
+        let mut report = Report::new(
+            "Ablation: prediction accuracy vs outcome-resolution delay (AT, AHRT 512, 12SR, A2)",
+            harness
+                .workloads()
+                .iter()
+                .map(|w| w.name.to_owned())
+                .collect(),
+        );
+        for delay in delays {
+            let mut row = Vec::new();
+            for w in harness.workloads() {
+                let trace = harness.store().test(w);
+                let mut p = tlat_core::TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+                let out = simulate_delayed(
+                    &mut p,
+                    &trace,
+                    DelayOptions {
+                        resolve_delay: delay,
+                        ras_entries: 16,
+                    },
+                );
+                row.push(Some(out.result.accuracy()));
+            }
+            report.push_row(format!("delay {delay:>2} branches"), row);
         }
-        report.push_row(format!("delay {delay:>2} branches"), row);
-    }
-    report.push_note(
-        "delay 0 is the idealized model of the paper's figures; unresolved \
-         same-branch predictions are forced taken per §3.2"
-            .to_owned(),
-    );
-    println!("{report}");
+        report.push_note(
+            "delay 0 is the idealized model of the paper's figures; unresolved \
+             same-branch predictions are forced taken per §3.2"
+                .to_owned(),
+        );
+        report.to_string()
+    });
 }

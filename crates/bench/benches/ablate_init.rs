@@ -11,23 +11,24 @@ use tlat_core::TwoLevelConfig;
 use tlat_sim::SchemeConfig;
 
 fn main() {
-    let harness = tlat_bench::harness("ablate_init");
-    let paper = TwoLevelConfig::paper_default();
-    let configs = vec![
-        SchemeConfig::TwoLevel(paper),
-        SchemeConfig::TwoLevel(TwoLevelConfig {
-            init_not_taken: true,
-            ..paper
-        }),
-    ];
-    let mut report = harness.accuracy_table(
-        "Ablation: pattern-table initialization (biased-taken vs not-taken)",
-        &configs,
-    );
-    report.push_note(
-        "rows are identical configurations except for initialization; \
-         the first row is the paper's biased-taken choice"
-            .to_owned(),
-    );
-    println!("{report}");
+    tlat_bench::run_report("ablate_init", |h| {
+        let paper = TwoLevelConfig::paper_default();
+        let configs = vec![
+            SchemeConfig::TwoLevel(paper),
+            SchemeConfig::TwoLevel(TwoLevelConfig {
+                init_not_taken: true,
+                ..paper
+            }),
+        ];
+        let mut report = h.accuracy_table(
+            "Ablation: pattern-table initialization (biased-taken vs not-taken)",
+            &configs,
+        );
+        report.push_note(
+            "rows are identical configurations except for initialization; \
+             the first row is the paper's biased-taken choice"
+                .to_owned(),
+        );
+        report.to_string()
+    });
 }

@@ -12,24 +12,25 @@ use tlat_core::TwoLevelConfig;
 use tlat_sim::SchemeConfig;
 
 fn main() {
-    let harness = tlat_bench::harness("ablate_latency");
-    let paper = TwoLevelConfig::paper_default();
-    let configs = vec![
-        SchemeConfig::TwoLevel(paper), // cached prediction bit (§3.2)
-        SchemeConfig::TwoLevel(TwoLevelConfig {
-            cached_prediction: false,
-            ..paper
-        }),
-    ];
-    let mut report = harness.accuracy_table(
-        "Ablation: cached prediction bit (§3.2) vs pure two-lookup prediction",
-        &configs,
-    );
-    report.push_note(
-        "the cached bit makes prediction a single HRT access; any \
-         accuracy difference is the staleness cost of not re-reading \
-         the pattern table"
-            .to_owned(),
-    );
-    println!("{report}");
+    tlat_bench::run_report("ablate_latency", |h| {
+        let paper = TwoLevelConfig::paper_default();
+        let configs = vec![
+            SchemeConfig::TwoLevel(paper), // cached prediction bit (§3.2)
+            SchemeConfig::TwoLevel(TwoLevelConfig {
+                cached_prediction: false,
+                ..paper
+            }),
+        ];
+        let mut report = h.accuracy_table(
+            "Ablation: cached prediction bit (§3.2) vs pure two-lookup prediction",
+            &configs,
+        );
+        report.push_note(
+            "the cached bit makes prediction a single HRT access; any \
+             accuracy difference is the staleness cost of not re-reading \
+             the pattern table"
+                .to_owned(),
+        );
+        report.to_string()
+    });
 }

@@ -12,23 +12,24 @@ use tlat_core::TwoLevelConfig;
 use tlat_sim::SchemeConfig;
 
 fn main() {
-    let harness = tlat_bench::harness("ablate_replacement");
-    let paper = TwoLevelConfig::paper_default();
-    let configs = vec![
-        SchemeConfig::TwoLevel(paper), // inherit victim contents (paper)
-        SchemeConfig::TwoLevel(TwoLevelConfig {
-            reinit_on_replace: true,
-            ..paper
-        }),
-    ];
-    let mut report = harness.accuracy_table(
-        "Ablation: AHRT victim contents inherited (paper) vs re-initialized",
-        &configs,
-    );
-    report.push_note(
-        "differences concentrate on gcc/doduc, whose static footprints \
-         overflow the 512-entry table"
-            .to_owned(),
-    );
-    println!("{report}");
+    tlat_bench::run_report("ablate_replacement", |h| {
+        let paper = TwoLevelConfig::paper_default();
+        let configs = vec![
+            SchemeConfig::TwoLevel(paper), // inherit victim contents (paper)
+            SchemeConfig::TwoLevel(TwoLevelConfig {
+                reinit_on_replace: true,
+                ..paper
+            }),
+        ];
+        let mut report = h.accuracy_table(
+            "Ablation: AHRT victim contents inherited (paper) vs re-initialized",
+            &configs,
+        );
+        report.push_note(
+            "differences concentrate on gcc/doduc, whose static footprints \
+             overflow the 512-entry table"
+                .to_owned(),
+        );
+        report.to_string()
+    });
 }

@@ -7,10 +7,11 @@
 use tlat_sim::PipelineModel;
 
 fn main() {
-    let harness = tlat_bench::harness("ext_cost");
-    println!("{}", harness.performance_table(PipelineModel::deep()));
-    println!(
-        "{}",
-        harness.performance_table(PipelineModel::superscalar())
-    );
+    tlat_bench::run_report("ext_cost", |h| {
+        format!(
+            "{}\n{}",
+            h.performance_table(PipelineModel::deep()),
+            h.performance_table(PipelineModel::superscalar())
+        )
+    });
 }

@@ -14,59 +14,59 @@ use tlat_core::{
 use tlat_sim::{simulate_timing, Report, TimingModel};
 
 fn main() {
-    let harness = tlat_bench::harness("ext_cpi");
-    harness.prewarm();
-    let model = TimingModel::scalar_with_btb();
-    let mut report = Report::new_raw(
-        "Extension: measured CPI x100 (scalar pipeline, 5-cycle flush, 512-entry BTB)",
-        harness
-            .workloads()
-            .iter()
-            .map(|w| w.name.to_owned())
-            .collect(),
-    );
-    let mut speedups = Vec::new();
-    for scheme in ["AT", "LS", "AlwaysTaken"] {
-        let mut row = Vec::new();
-        for w in harness.workloads() {
-            let trace = harness.store().test(w);
-            let mut predictor: Box<dyn Predictor> = match scheme {
-                "AT" => Box::new(TwoLevelAdaptive::new(TwoLevelConfig::paper_default())),
-                "LS" => Box::new(LeeSmithBtb::new(LeeSmithConfig {
-                    automaton: AutomatonKind::A2,
-                    ..LeeSmithConfig::paper_default()
-                })),
-                _ => Box::new(AlwaysTaken),
-            };
-            let out = simulate_timing(predictor.as_mut(), &trace, model);
-            if scheme == "AT" {
-                speedups.push((w.name, out));
+    tlat_bench::run_report("ext_cpi", |harness| {
+        harness.prewarm();
+        let model = TimingModel::scalar_with_btb();
+        let mut report = Report::new_raw(
+            "Extension: measured CPI x100 (scalar pipeline, 5-cycle flush, 512-entry BTB)",
+            harness
+                .workloads()
+                .iter()
+                .map(|w| w.name.to_owned())
+                .collect(),
+        );
+        let mut speedups = Vec::new();
+        for scheme in ["AT", "LS", "AlwaysTaken"] {
+            let mut row = Vec::new();
+            for w in harness.workloads() {
+                let trace = harness.store().test(w);
+                let mut predictor: Box<dyn Predictor> = match scheme {
+                    "AT" => Box::new(TwoLevelAdaptive::new(TwoLevelConfig::paper_default())),
+                    "LS" => Box::new(LeeSmithBtb::new(LeeSmithConfig {
+                        automaton: AutomatonKind::A2,
+                        ..LeeSmithConfig::paper_default()
+                    })),
+                    _ => Box::new(AlwaysTaken),
+                };
+                let out = simulate_timing(predictor.as_mut(), &trace, model);
+                if scheme == "AT" {
+                    speedups.push((w.name, out));
+                }
+                row.push(Some(out.cpi() * 100.0));
             }
-            row.push(Some(out.cpi() * 100.0));
+            report.push_row(scheme, row);
         }
-        report.push_row(scheme, row);
-    }
-    report.push_note("values are CPI x 100 (e.g. 126 = 1.26 cycles/instruction)".to_owned());
-    println!("{report}");
+        report.push_note("values are CPI x 100 (e.g. 126 = 1.26 cycles/instruction)".to_owned());
 
-    // Headline: AT's measured speedup over the counter BTB.
-    let mut speedup_report = Report::new_raw(
-        "Measured speedup of AT over LS(A2) x100",
-        harness
-            .workloads()
-            .iter()
-            .map(|w| w.name.to_owned())
-            .collect(),
-    );
-    let mut row = Vec::new();
-    for (w, at_out) in &speedups {
-        let workload = tlat_workloads::by_name(w).unwrap();
-        let trace = harness.store().test(&workload);
-        let mut ls = LeeSmithBtb::new(LeeSmithConfig::paper_default());
-        let ls_out = simulate_timing(&mut ls, &trace, model);
-        row.push(Some(at_out.speedup_over(&ls_out) * 100.0));
-    }
-    speedup_report.push_row("AT vs LS", row);
-    speedup_report.push_note("104 = 4 % faster end-to-end".to_owned());
-    println!("{speedup_report}");
+        // Headline: AT's measured speedup over the counter BTB.
+        let mut speedup_report = Report::new_raw(
+            "Measured speedup of AT over LS(A2) x100",
+            harness
+                .workloads()
+                .iter()
+                .map(|w| w.name.to_owned())
+                .collect(),
+        );
+        let mut row = Vec::new();
+        for (w, at_out) in &speedups {
+            let workload = tlat_workloads::by_name(w).unwrap();
+            let trace = harness.store().test(&workload);
+            let mut ls = LeeSmithBtb::new(LeeSmithConfig::paper_default());
+            let ls_out = simulate_timing(&mut ls, &trace, model);
+            row.push(Some(at_out.speedup_over(&ls_out) * 100.0));
+        }
+        speedup_report.push_row("AT vs LS", row);
+        speedup_report.push_note("104 = 4 % faster end-to-end".to_owned());
+        format!("{report}\n{speedup_report}")
+    });
 }

@@ -9,44 +9,45 @@ use tlat_core::{TwoLevelAdaptive, TwoLevelConfig};
 use tlat_sim::{simulate_fetch, FetchOptions, Report};
 
 fn main() {
-    let harness = tlat_bench::harness("ext_fetch");
-    harness.prewarm();
-    let mut report = Report::new(
-        "Extension: fetch-redirect accuracy (direction + BTB target + RAS)",
-        vec![
-            "cond".to_owned(),
-            "return".to_owned(),
-            "uncond-imm".to_owned(),
-            "uncond-reg".to_owned(),
-            "overall".to_owned(),
-        ],
-    );
-    for w in harness.workloads() {
-        let trace = harness.store().test(w);
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
-        let out = simulate_fetch(&mut p, &trace, FetchOptions::default());
-        let cell = |s: tlat_sim::PredictionStats| {
-            if s.predicted == 0 {
-                None
-            } else {
-                Some(s.accuracy())
-            }
-        };
-        report.push_row(
-            w.name,
+    tlat_bench::run_report("ext_fetch", |harness| {
+        harness.prewarm();
+        let mut report = Report::new(
+            "Extension: fetch-redirect accuracy (direction + BTB target + RAS)",
             vec![
-                cell(out.conditional),
-                cell(out.returns),
-                cell(out.uncond_imm),
-                cell(out.uncond_reg),
-                Some(out.overall()),
+                "cond".to_owned(),
+                "return".to_owned(),
+                "uncond-imm".to_owned(),
+                "uncond-reg".to_owned(),
+                "overall".to_owned(),
             ],
         );
-    }
-    report.push_note(
-        "conditional redirect requires direction AND (when taken) a correct \
-         BTB target; immediate unconditionals resolve at decode (§4)"
-            .to_owned(),
-    );
-    println!("{report}");
+        for w in harness.workloads() {
+            let trace = harness.store().test(w);
+            let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
+            let out = simulate_fetch(&mut p, &trace, FetchOptions::default());
+            let cell = |s: tlat_sim::PredictionStats| {
+                if s.predicted == 0 {
+                    None
+                } else {
+                    Some(s.accuracy())
+                }
+            };
+            report.push_row(
+                w.name,
+                vec![
+                    cell(out.conditional),
+                    cell(out.returns),
+                    cell(out.uncond_imm),
+                    cell(out.uncond_reg),
+                    Some(out.overall()),
+                ],
+            );
+        }
+        report.push_note(
+            "conditional redirect requires direction AND (when taken) a correct \
+             BTB target; immediate unconditionals resolve at decode (§4)"
+                .to_owned(),
+        );
+        report.to_string()
+    });
 }

@@ -4,6 +4,5 @@
 //! Run with `cargo bench --bench ext_taxonomy`.
 
 fn main() {
-    let harness = tlat_bench::harness("ext_taxonomy");
-    println!("{}", harness.taxonomy());
+    tlat_bench::run_report("ext_taxonomy", |h| h.taxonomy().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig10. Run with `cargo bench --bench fig10`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig10");
-    println!("{}", harness.figure10());
+    tlat_bench::run_report("fig10", |h| h.figure10().to_string());
 }

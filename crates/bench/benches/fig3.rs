@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig3. Run with `cargo bench --bench fig3`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig3");
-    println!("{}", harness.figure3());
+    tlat_bench::run_report("fig3", |h| h.figure3().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig4. Run with `cargo bench --bench fig4`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig4");
-    println!("{}", harness.figure4());
+    tlat_bench::run_report("fig4", |h| h.figure4().to_string());
 }

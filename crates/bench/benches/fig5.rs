@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig5. Run with `cargo bench --bench fig5`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig5");
-    println!("{}", harness.figure5());
+    tlat_bench::run_report("fig5", |h| h.figure5().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig6. Run with `cargo bench --bench fig6`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig6");
-    println!("{}", harness.figure6());
+    tlat_bench::run_report("fig6", |h| h.figure6().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig7. Run with `cargo bench --bench fig7`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig7");
-    println!("{}", harness.figure7());
+    tlat_bench::run_report("fig7", |h| h.figure7().to_string());
 }

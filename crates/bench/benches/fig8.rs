@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig8. Run with `cargo bench --bench fig8`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig8");
-    println!("{}", harness.figure8());
+    tlat_bench::run_report("fig8", |h| h.figure8().to_string());
 }

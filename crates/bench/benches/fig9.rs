@@ -1,6 +1,5 @@
 //! Regenerates the paper's fig9. Run with `cargo bench --bench fig9`.
 
 fn main() {
-    let harness = tlat_bench::harness("fig9");
-    println!("{}", harness.figure9());
+    tlat_bench::run_report("fig9", |h| h.figure9().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's table1. Run with `cargo bench --bench table1`.
 
 fn main() {
-    let harness = tlat_bench::harness("table1");
-    println!("{}", harness.table1());
+    tlat_bench::run_report("table1", |h| h.table1().to_string());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's table2. Run with `cargo bench --bench table2`.
 
 fn main() {
-    let harness = tlat_bench::harness("table2");
-    println!("{}", harness.table2());
+    tlat_bench::run_report("table2", |h| h.table2());
 }

@@ -1,6 +1,5 @@
 //! Regenerates the paper's table3. Run with `cargo bench --bench table3`.
 
 fn main() {
-    let harness = tlat_bench::harness("table3");
-    println!("{}", harness.table3());
+    tlat_bench::run_report("table3", |h| h.table3());
 }

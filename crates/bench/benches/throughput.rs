@@ -1,10 +1,9 @@
-//! Criterion micro-benchmarks: raw predict+update throughput of every
-//! scheme.
+//! Micro-benchmarks: raw predict+update throughput of every scheme,
+//! on the in-repo runner.
 //!
 //! Run with `cargo bench --bench throughput`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use tlat_bench::runner::Runner;
 use tlat_core::{
     AlwaysTaken, AutomatonKind, Btfn, Gshare, GshareConfig, HrtConfig, LeeSmithBtb, LeeSmithConfig,
     Predictor, ProfilePredictor, StaticTraining, StaticTrainingConfig, Tournament,
@@ -26,99 +25,94 @@ fn drive(p: &mut dyn Predictor, trace: &Trace) -> u64 {
     correct
 }
 
-fn predictor_throughput(c: &mut Criterion) {
-    let trace = stream(10_000);
-    let mut group = c.benchmark_group("predict_update");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+fn main() {
+    let n = if tlat_bench::is_test_pass() {
+        1_000
+    } else {
+        10_000
+    };
+    let trace = stream(n);
 
-    group.bench_function("AT_AHRT512_12_A2", |b| {
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("AT_IHRT_12_A2", |b| {
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+    let mut group = Runner::new("predict_update");
+    let mut bench_predictor = |name: &str, mut p: Box<dyn Predictor>| {
+        group
+            .throughput(trace.len() as u64)
+            .bench(name, || drive(p.as_mut(), &trace));
+    };
+
+    bench_predictor(
+        "AT_AHRT512_12_A2",
+        Box::new(TwoLevelAdaptive::new(TwoLevelConfig::paper_default())),
+    );
+    bench_predictor(
+        "AT_IHRT_12_A2",
+        Box::new(TwoLevelAdaptive::new(TwoLevelConfig {
             hrt: HrtConfig::Ideal,
             ..TwoLevelConfig::paper_default()
-        });
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("AT_HHRT512_12_A2", |b| {
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+        })),
+    );
+    bench_predictor(
+        "AT_HHRT512_12_A2",
+        Box::new(TwoLevelAdaptive::new(TwoLevelConfig {
             hrt: HrtConfig::hhrt(512),
             ..TwoLevelConfig::paper_default()
-        });
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("AT_pure_two_lookup", |b| {
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+        })),
+    );
+    bench_predictor(
+        "AT_pure_two_lookup",
+        Box::new(TwoLevelAdaptive::new(TwoLevelConfig {
             cached_prediction: false,
             ..TwoLevelConfig::paper_default()
-        });
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("LS_AHRT512_A2", |b| {
-        let mut p = LeeSmithBtb::new(LeeSmithConfig::paper_default());
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("LS_AHRT512_LT", |b| {
-        let mut p = LeeSmithBtb::new(LeeSmithConfig {
+        })),
+    );
+    bench_predictor(
+        "LS_AHRT512_A2",
+        Box::new(LeeSmithBtb::new(LeeSmithConfig::paper_default())),
+    );
+    bench_predictor(
+        "LS_AHRT512_LT",
+        Box::new(LeeSmithBtb::new(LeeSmithConfig {
             automaton: AutomatonKind::LastTime,
             ..LeeSmithConfig::paper_default()
-        });
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("ST_AHRT512_12", |b| {
-        let mut p = StaticTraining::train(StaticTrainingConfig::paper_default(), &trace);
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("Profile", |b| {
-        let mut p = ProfilePredictor::train(&trace);
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("GAg_12_A2", |b| {
-        let mut p = TwoLevelVariant::new(VariantConfig::gag(12, AutomatonKind::A2));
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("gshare_12_A2", |b| {
-        let mut p = Gshare::new(GshareConfig::default_12bit());
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("tournament_AT_gshare", |b| {
-        let mut p = Tournament::new(
+        })),
+    );
+    bench_predictor(
+        "ST_AHRT512_12",
+        Box::new(StaticTraining::train(
+            StaticTrainingConfig::paper_default(),
+            &trace,
+        )),
+    );
+    bench_predictor("Profile", Box::new(ProfilePredictor::train(&trace)));
+    bench_predictor(
+        "GAg_12_A2",
+        Box::new(TwoLevelVariant::new(VariantConfig::gag(
+            12,
+            AutomatonKind::A2,
+        ))),
+    );
+    bench_predictor(
+        "gshare_12_A2",
+        Box::new(Gshare::new(GshareConfig::default_12bit())),
+    );
+    bench_predictor(
+        "tournament_AT_gshare",
+        Box::new(Tournament::new(
             Box::new(TwoLevelAdaptive::new(TwoLevelConfig::paper_default())),
             Box::new(Gshare::new(GshareConfig::default_12bit())),
             1024,
-        );
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("BTFN", |b| {
-        let mut p = Btfn;
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.bench_function("AlwaysTaken", |b| {
-        let mut p = AlwaysTaken;
-        b.iter(|| black_box(drive(&mut p, &trace)));
-    });
-    group.finish();
-}
+        )),
+    );
+    bench_predictor("BTFN", Box::new(Btfn));
+    bench_predictor("AlwaysTaken", Box::new(AlwaysTaken));
 
-fn training_cost(c: &mut Criterion) {
-    let trace = stream(10_000);
-    let mut group = c.benchmark_group("training");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("StaticTraining_profile_pass", |b| {
-        b.iter(|| {
-            black_box(StaticTraining::train(
-                StaticTrainingConfig::paper_default(),
-                &trace,
-            ))
+    let mut training = Runner::new("training");
+    training
+        .throughput(trace.len() as u64)
+        .bench("StaticTraining_profile_pass", || {
+            StaticTraining::train(StaticTrainingConfig::paper_default(), &trace)
         });
-    });
-    group.bench_function("Profile_train", |b| {
-        b.iter(|| black_box(ProfilePredictor::train(&trace)));
-    });
-    group.finish();
+    training
+        .throughput(trace.len() as u64)
+        .bench("Profile_train", || ProfilePredictor::train(&trace));
 }
-
-criterion_group!(benches, predictor_throughput, training_cost);
-criterion_main!(benches);

@@ -1,43 +1,37 @@
-//! Criterion micro-benchmarks: workload trace-generation (interpreter)
-//! throughput and trace serialization.
+//! Micro-benchmarks: workload trace-generation (interpreter)
+//! throughput and trace serialization, on the in-repo runner.
 //!
 //! Run with `cargo bench --bench trace_gen`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use tlat_bench::runner::Runner;
 use tlat_trace::codec;
 use tlat_workloads::by_name;
 
-fn interpreter_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    let budget = 20_000u64;
-    group.throughput(Throughput::Elements(budget));
+fn main() {
+    let smoke = tlat_bench::is_test_pass();
+
+    let mut group = Runner::new("trace_generation");
+    let budget = if smoke { 2_000u64 } else { 20_000u64 };
     for name in ["eqntott", "gcc", "matrix300", "li"] {
         let workload = by_name(name).unwrap();
         // Build once outside the timing loop: generation cost is
         // dominated by interpretation, which is what we measure.
         let loaded = workload.build(workload.test_input());
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(tlat_workloads::run_trace(&loaded, budget).unwrap()));
-        });
+        group
+            .throughput(budget)
+            .bench(name, || tlat_workloads::run_trace(&loaded, budget).unwrap());
     }
-    group.finish();
-}
 
-fn codec_throughput(c: &mut Criterion) {
     let workload = by_name("espresso").unwrap();
-    let trace = workload.trace_test(50_000).unwrap();
+    let trace = workload
+        .trace_test(if smoke { 5_000 } else { 50_000 })
+        .unwrap();
     let encoded = codec::encode(&trace);
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| black_box(codec::encode(&trace)));
-    });
-    group.bench_function("decode", |b| {
-        b.iter(|| black_box(codec::decode(&encoded).unwrap()));
-    });
-    group.finish();
+    let mut group = Runner::new("codec");
+    group
+        .throughput(encoded.len() as u64)
+        .bench("encode", || codec::encode(&trace));
+    group
+        .throughput(encoded.len() as u64)
+        .bench("decode", || codec::decode(&encoded).unwrap());
 }
-
-criterion_group!(benches, interpreter_throughput, codec_throughput);
-criterion_main!(benches);

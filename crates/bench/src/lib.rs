@@ -2,20 +2,39 @@
 //!
 //! Each `cargo bench` target in this crate regenerates one table or
 //! figure of the paper (printed as a paper-vs-measured report), runs an
-//! ablation, or measures raw predictor throughput with Criterion. The
+//! ablation, or measures raw predictor throughput with the in-repo
+//! [`runner`] (the workspace's criterion replacement). The
 //! per-benchmark conditional-branch budget is controlled by the
 //! `TLAT_BRANCH_LIMIT` environment variable (default 500 000; the paper
 //! used 20 000 000).
+//!
+//! `cargo bench -- --test` (as run by `scripts/ci.sh`) executes every
+//! `harness = false` bench target with a `--test` flag; the benches
+//! detect that ([`is_test_pass`]) and switch to a smoke mode — tiny
+//! branch budgets and single iterations — so CI exercises every bench
+//! path without paying bench runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tlat_sim::Harness;
 
+pub mod runner;
+
+/// Conditional-branch budget used per benchmark when a bench target
+/// runs as part of `cargo test` (smoke mode).
+pub const SMOKE_BRANCH_LIMIT: u64 = 2_000;
+
 /// Builds the experiment harness with the environment-configured
-/// budget and announces the run parameters.
+/// budget and announces the run parameters. Under a test pass the
+/// budget is capped at [`SMOKE_BRANCH_LIMIT`] so `cargo test` stays
+/// fast.
 pub fn harness(target: &str) -> Harness {
-    let harness = Harness::from_env();
+    let harness = if is_test_pass() {
+        Harness::new(SMOKE_BRANCH_LIMIT)
+    } else {
+        Harness::from_env()
+    };
     println!(
         "[{target}] simulating up to {} conditional branches per benchmark \
          (override with TLAT_BRANCH_LIMIT)",
@@ -24,8 +43,20 @@ pub fn harness(target: &str) -> Harness {
     harness
 }
 
-/// `true` when invoked by `cargo bench` as a test pass (`--test`); the
-/// figure benches print reports only on the real bench pass.
+/// `true` when invoked as a test pass (`cargo bench -- --test`); the
+/// benches run a smoke-sized workload in that case.
 pub fn is_test_pass() -> bool {
     std::env::args().any(|a| a == "--test")
+}
+
+/// Runs one report-regenerating bench target: builds the harness,
+/// regenerates the report through the in-repo [`runner`] (so the
+/// regeneration wall time lands in the JSON report line), and prints
+/// the paper-vs-measured report itself.
+pub fn run_report(target: &str, build: impl FnMut(&Harness) -> String) {
+    let mut build = build;
+    let harness = harness(target);
+    let mut runner = runner::Runner::for_reports(target);
+    let report = runner.bench_value("regenerate", || build(&harness));
+    println!("{report}");
 }

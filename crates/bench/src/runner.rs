@@ -1,0 +1,242 @@
+//! The in-repo bench runner: the workspace's criterion replacement.
+//!
+//! A [`Runner`] times closures over a warmup phase and `N` measured
+//! iterations, then reports the median and the median absolute
+//! deviation (MAD) — robust statistics that a noisy neighbour cannot
+//! drag the way a mean/variance pair can. Each finished measurement is
+//! emitted as one machine-readable JSON line (via [`tlat_trace::json`])
+//! prefixed with `BENCHJSON`, so downstream tooling can scrape results
+//! with a single grep.
+//!
+//! Under a test pass (see [`crate::is_test_pass`], triggered by
+//! `cargo bench -- --test`) the runner performs no warmup and a single
+//! iteration: every bench body is exercised, but none of the timing
+//! work is paid.
+//!
+//! # Examples
+//!
+//! ```
+//! let mut r = tlat_bench::runner::Runner::new("doctest");
+//! let m = r.bench("sum", || (0..1000u64).sum::<u64>());
+//! assert!(m.median_ns > 0.0);
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+use tlat_trace::json::{JsonObject, ToJson};
+
+/// Default measured iterations (odd, so the median is a real sample).
+pub const DEFAULT_ITERS: u32 = 15;
+/// Default warmup iterations.
+pub const DEFAULT_WARMUP: u32 = 3;
+
+/// One completed measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// `target/name` label.
+    pub id: String,
+    /// Measured iterations.
+    pub iters: u32,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-iteration times.
+    pub mad_ns: f64,
+    /// Optional work-per-iteration (elements processed), for
+    /// throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Nanoseconds per element, when an element count was declared.
+    pub fn ns_per_element(&self) -> Option<f64> {
+        self.elements.map(|n| {
+            if n == 0 {
+                0.0
+            } else {
+                self.median_ns / n as f64
+            }
+        })
+    }
+}
+
+impl ToJson for Measurement {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("bench", &self.id)
+            .field("iters", &self.iters)
+            .field("median_ns", &self.median_ns)
+            .field("mad_ns", &self.mad_ns)
+            .field("elements", &self.elements)
+            .field("ns_per_element", &self.ns_per_element())
+            .finish_into(out);
+    }
+}
+
+/// Median of a sorted slice (empty slices report zero).
+fn median_sorted(sorted: &[f64]) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => sorted[n / 2],
+        n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+    }
+}
+
+/// Median and median-absolute-deviation of raw samples.
+pub fn median_and_mad(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = median_sorted(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    (median, median_sorted(&deviations))
+}
+
+/// Times closures and emits JSON report lines.
+#[derive(Debug)]
+pub struct Runner {
+    target: String,
+    warmup: u32,
+    iters: u32,
+    /// Pending element count applied to the next `bench` call.
+    elements: Option<u64>,
+}
+
+impl Runner {
+    /// Creates a runner for `target` with the default iteration plan
+    /// (single iteration, no warmup, under a test pass).
+    pub fn new(target: &str) -> Self {
+        let smoke = crate::is_test_pass();
+        Runner {
+            target: target.to_owned(),
+            warmup: if smoke { 0 } else { DEFAULT_WARMUP },
+            iters: if smoke { 1 } else { DEFAULT_ITERS },
+            elements: None,
+        }
+    }
+
+    /// A runner for report-regeneration benches: one measured pass
+    /// (reports are regenerated, not statistically sampled), still
+    /// emitting the JSON report line.
+    pub fn for_reports(target: &str) -> Self {
+        Runner {
+            target: target.to_owned(),
+            warmup: 0,
+            iters: 1,
+            elements: None,
+        }
+    }
+
+    /// Overrides the iteration plan.
+    pub fn plan(&mut self, warmup: u32, iters: u32) -> &mut Self {
+        if !crate::is_test_pass() {
+            self.warmup = warmup;
+            self.iters = iters.max(1);
+        }
+        self
+    }
+
+    /// Declares the work per iteration of the next `bench` call, so
+    /// the report line carries a throughput figure.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Times `f`, prints the JSON report line, and returns the
+    /// measurement. The closure's result is passed through
+    /// [`black_box`] so the work cannot be optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        let (median_ns, mad_ns) = median_and_mad(&samples);
+        let m = Measurement {
+            id: format!("{}/{}", self.target, name),
+            iters: self.iters,
+            median_ns,
+            mad_ns,
+            elements: self.elements.take(),
+        };
+        println!("BENCHJSON {}", m.to_json());
+        m
+    }
+
+    /// Like [`Runner::bench`] but returns the closure's final value
+    /// (timing it once per iteration; the last iteration's value is
+    /// returned). Used by report benches that need the regenerated
+    /// report as well as the timing.
+    pub fn bench_value<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> T {
+        let mut last = None;
+        self.bench(name, || last = Some(f()));
+        last.expect("at least one iteration runs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlat_trace::json;
+
+    #[test]
+    fn median_and_mad_basics() {
+        let (m, d) = median_and_mad(&[1.0, 9.0, 5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(d, 4.0);
+        let (m, d) = median_and_mad(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(d, 1.0);
+        assert_eq!(median_and_mad(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bench_measures_and_reports() {
+        let mut r = Runner::new("test");
+        r.plan(0, 3).throughput(100);
+        let mut calls = 0u32;
+        let m = r.bench("count_calls", || calls += 1);
+        // Warmup may be skipped under a test pass; at least the
+        // measured iterations ran.
+        assert!(calls >= 1);
+        assert_eq!(m.iters as u32 + 0, calls); // no warmup configured
+        assert_eq!(m.elements, Some(100));
+        assert!(m.ns_per_element().is_some());
+        assert!(m.id.starts_with("test/"));
+    }
+
+    #[test]
+    fn throughput_only_applies_once() {
+        let mut r = Runner::for_reports("test");
+        r.throughput(7);
+        let first = r.bench("a", || ());
+        let second = r.bench("b", || ());
+        assert_eq!(first.elements, Some(7));
+        assert_eq!(second.elements, None);
+    }
+
+    #[test]
+    fn bench_value_returns_the_result() {
+        let mut r = Runner::for_reports("test");
+        let v = r.bench_value("forty_two", || 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn report_lines_are_valid_json() {
+        let m = Measurement {
+            id: "t/x".to_owned(),
+            iters: 3,
+            median_ns: 1.5,
+            mad_ns: 0.25,
+            elements: Some(10),
+        };
+        assert!(json::validate(&m.to_json()));
+        let none = Measurement { elements: None, ..m };
+        assert!(json::validate(&none.to_json()));
+    }
+}

@@ -1,0 +1,399 @@
+//! Value generators with attached shrinkers.
+//!
+//! A [`Gen<T>`] knows how to produce a random `T` from an [`Rng`] and
+//! how to propose smaller candidates once a failing value is found.
+//! Shrinkers return a *list of candidates*; the runner greedily takes
+//! the first candidate that still fails and repeats until none do.
+
+use crate::rng::Rng;
+use std::rc::Rc;
+
+type GenFn<T> = Rc<dyn Fn(&mut Rng) -> T>;
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A generator of random values of type `T`, paired with a shrinker.
+#[derive(Clone)]
+pub struct Gen<T> {
+    generate: GenFn<T>,
+    shrink: ShrinkFn<T>,
+}
+
+impl<T: 'static> Gen<T> {
+    /// Creates a generator from explicit generate and shrink functions.
+    pub fn new(
+        generate: impl Fn(&mut Rng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// A generator with no shrinking.
+    pub fn from_fn(generate: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Gen::new(generate, |_| Vec::new())
+    }
+
+    /// Produces one value.
+    pub fn generate(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes shrink candidates for a failing value (possibly empty).
+    pub fn shrinks(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps the generated value through `f`. Shrinking does not carry
+    /// through an arbitrary map (there is no inverse); prefer building
+    /// structured values from [`tuple2`]/[`tuple3`] components when the
+    /// mapped parts should shrink.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |rng| f((self.generate)(rng)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------
+
+/// Shrink an unsigned value toward `lo`: the minimum itself, the
+/// midpoint, and the predecessor.
+fn shrink_toward_u64(lo: u64, v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+/// Shrink a signed value toward `lo`.
+fn shrink_toward_i64(lo: i64, v: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + ((v - lo) / 2);
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+/// Uniform booleans; `true` shrinks to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::new(
+        |rng| rng.bool(),
+        |&v| if v { vec![false] } else { Vec::new() },
+    )
+}
+
+macro_rules! unsigned_gen {
+    ($name:ident, $any:ident, $ty:ty) => {
+        /// Uniform values in the inclusive range `[lo, hi]`, shrinking
+        /// toward `lo`.
+        pub fn $name(lo: $ty, hi: $ty) -> Gen<$ty> {
+            Gen::new(
+                move |rng| rng.u64_in(lo as u64, hi as u64) as $ty,
+                move |&v| {
+                    shrink_toward_u64(lo as u64, v as u64)
+                        .into_iter()
+                        .map(|x| x as $ty)
+                        .collect()
+                },
+            )
+        }
+
+        /// Uniform values over the whole type, shrinking toward the
+        /// type minimum.
+        pub fn $any() -> Gen<$ty> {
+            $name(<$ty>::MIN, <$ty>::MAX)
+        }
+    };
+}
+
+unsigned_gen!(u8_in, u8_any, u8);
+unsigned_gen!(u16_in, u16_any, u16);
+unsigned_gen!(u32_in, u32_any, u32);
+unsigned_gen!(u64_in, u64_any, u64);
+unsigned_gen!(usize_in, usize_any, usize);
+
+/// Uniform `i64` in the inclusive range `[lo, hi]`, shrinking toward
+/// `lo`.
+pub fn i64_in(lo: i64, hi: i64) -> Gen<i64> {
+    Gen::new(
+        move |rng| rng.i64_in(lo, hi),
+        move |&v| shrink_toward_i64(lo, v),
+    )
+}
+
+/// Uniform `i64` over the whole type, shrinking toward zero then the
+/// type minimum.
+pub fn i64_any() -> Gen<i64> {
+    Gen::new(
+        |rng| rng.next_u64() as i64,
+        |&v| {
+            let mut out = Vec::new();
+            if v != 0 {
+                out.push(0);
+                out.push(v / 2);
+                out.dedup();
+            }
+            out
+        },
+    )
+}
+
+/// One of the listed options, uniformly; shrinks toward earlier
+/// entries in the list.
+pub fn choose<T: Clone + PartialEq + 'static>(options: &[T]) -> Gen<T> {
+    assert!(!options.is_empty(), "choose() needs at least one option");
+    let options = options.to_vec();
+    let shrink_options = options.clone();
+    Gen::new(
+        move |rng| options[rng.below(options.len() as u64) as usize].clone(),
+        move |v| {
+            let Some(idx) = shrink_options.iter().position(|o| o == v) else {
+                return Vec::new();
+            };
+            shrink_toward_u64(0, idx as u64)
+                .into_iter()
+                .map(|i| shrink_options[i as usize].clone())
+                .collect()
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Containers and tuples
+// ---------------------------------------------------------------------
+
+/// Vectors of `elem` with a length in the inclusive range
+/// `[min_len, max_len]`.
+///
+/// Shrinking removes chunks and single elements (never going below
+/// `min_len`) and shrinks individual elements in place.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len <= max_len, "empty length range");
+    let gen_elem = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = rng.u64_in(min_len as u64, max_len as u64) as usize;
+            (0..len).map(|_| gen_elem.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // Structural shrinks first: drop the second half, the first
+            // half, then each single element.
+            if v.len() > min_len {
+                let keep = (v.len() / 2).max(min_len);
+                out.push(v[..keep].to_vec());
+                out.push(v[v.len() - keep..].to_vec());
+                for i in 0..v.len() {
+                    let mut smaller = v.clone();
+                    smaller.remove(i);
+                    out.push(smaller);
+                }
+            }
+            // Element-wise shrinks: replace one element with its first
+            // few candidates.
+            for i in 0..v.len() {
+                for candidate in elem.shrinks(&v[i]).into_iter().take(3) {
+                    let mut copy = v.clone();
+                    copy[i] = candidate;
+                    out.push(copy);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Pairs of independent generators; each side shrinks independently.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng)),
+        move |(va, vb)| {
+            let mut out: Vec<(A, B)> = Vec::new();
+            for ca in a.shrinks(va) {
+                out.push((ca, vb.clone()));
+            }
+            for cb in b.shrinks(vb) {
+                out.push((va.clone(), cb));
+            }
+            out
+        },
+    )
+}
+
+/// Triples of independent generators; each component shrinks
+/// independently.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    let (ga, gb, gc) = (a.clone(), b.clone(), c.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng), gc.generate(rng)),
+        move |(va, vb, vc)| {
+            let mut out: Vec<(A, B, C)> = Vec::new();
+            for ca in a.shrinks(va) {
+                out.push((ca, vb.clone(), vc.clone()));
+            }
+            for cb in b.shrinks(vb) {
+                out.push((va.clone(), cb, vc.clone()));
+            }
+            for cc in c.shrinks(vc) {
+                out.push((va.clone(), vb.clone(), cc));
+            }
+            out
+        },
+    )
+}
+
+/// Quadruples of independent generators; each component shrinks
+/// independently.
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    let (ga, gb, gc, gd) = (a.clone(), b.clone(), c.clone(), d.clone());
+    Gen::new(
+        move |rng| {
+            (
+                ga.generate(rng),
+                gb.generate(rng),
+                gc.generate(rng),
+                gd.generate(rng),
+            )
+        },
+        move |(va, vb, vc, vd)| {
+            let mut out: Vec<(A, B, C, D)> = Vec::new();
+            for ca in a.shrinks(va) {
+                out.push((ca, vb.clone(), vc.clone(), vd.clone()));
+            }
+            for cb in b.shrinks(vb) {
+                out.push((va.clone(), cb, vc.clone(), vd.clone()));
+            }
+            for cc in c.shrinks(vc) {
+                out.push((va.clone(), vb.clone(), cc, vd.clone()));
+            }
+            for cd in d.shrinks(vd) {
+                out.push((va.clone(), vb.clone(), vc.clone(), cd));
+            }
+            out
+        },
+    )
+}
+
+/// Quintuples of independent generators; each component shrinks
+/// independently.
+#[allow(clippy::type_complexity)]
+pub fn tuple5<
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    let (ga, gb, gc, gd, ge) = (a.clone(), b.clone(), c.clone(), d.clone(), e.clone());
+    Gen::new(
+        move |rng| {
+            (
+                ga.generate(rng),
+                gb.generate(rng),
+                gc.generate(rng),
+                gd.generate(rng),
+                ge.generate(rng),
+            )
+        },
+        move |(va, vb, vc, vd, ve)| {
+            let mut out: Vec<(A, B, C, D, E)> = Vec::new();
+            for ca in a.shrinks(va) {
+                out.push((ca, vb.clone(), vc.clone(), vd.clone(), ve.clone()));
+            }
+            for cb in b.shrinks(vb) {
+                out.push((va.clone(), cb, vc.clone(), vd.clone(), ve.clone()));
+            }
+            for cc in c.shrinks(vc) {
+                out.push((va.clone(), vb.clone(), cc, vd.clone(), ve.clone()));
+            }
+            for cd in d.shrinks(vd) {
+                out.push((va.clone(), vb.clone(), vc.clone(), cd, ve.clone()));
+            }
+            for ce in e.shrinks(ve) {
+                out.push((va.clone(), vb.clone(), vc.clone(), vd.clone(), ce));
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shrinks_move_toward_lo() {
+        let g = u32_in(10, 1000);
+        let candidates = g.shrinks(&500);
+        assert!(candidates.contains(&10));
+        assert!(candidates.iter().all(|&c| c < 500 && c >= 10));
+        assert!(g.shrinks(&10).is_empty());
+    }
+
+    #[test]
+    fn bool_shrinks_to_false() {
+        assert_eq!(bools().shrinks(&true), vec![false]);
+        assert!(bools().shrinks(&false).is_empty());
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let g = vec_of(bools(), 2, 5);
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+        for candidate in g.shrinks(&vec![true; 4]) {
+            assert!(candidate.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn choose_shrinks_toward_front() {
+        let g = choose(&[10, 20, 30, 40]);
+        let candidates = g.shrinks(&40);
+        assert!(candidates.contains(&10));
+        assert!(!candidates.contains(&40));
+        assert!(g.shrinks(&10).is_empty());
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let g = tuple2(u32_in(0, 9), bools());
+        let candidates = g.shrinks(&(5, true));
+        assert!(candidates.contains(&(0, true)));
+        assert!(candidates.contains(&(5, false)));
+    }
+}

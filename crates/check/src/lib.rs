@@ -1,0 +1,139 @@
+//! A minimal property-testing harness with zero external dependencies.
+//!
+//! This crate replaces the subset of `proptest` the workspace uses:
+//! seeded random case generation, combinator-built generators, and
+//! greedy shrinking of failing inputs to a minimal counterexample. It
+//! exists so the whole repository builds and tests hermetically — no
+//! registry access, no version churn, and a shrinker whose behaviour
+//! we fully control.
+//!
+//! # Usage
+//!
+//! ```
+//! use tlat_check::{check, gen, prop_assert, prop_assert_eq};
+//!
+//! let pairs = gen::tuple2(gen::u32_in(0, 1000), gen::u32_in(0, 1000));
+//! check("addition commutes", &pairs, |&(a, b)| {
+//!     prop_assert_eq!(a + b, b + a);
+//!     prop_assert!(a + b >= a, "no overflow in range");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Properties are closures returning `Result<(), String>`; the
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`] macros
+//! produce the `Err` arm. Plain `assert!` also works (panics are
+//! caught and shrunk), but the macros give cleaner reports.
+//!
+//! # Knobs
+//!
+//! * `TLAT_PROP_CASES` — cases per property (default 64).
+//! * `TLAT_PROP_SEED` — override the per-property seed to replay a
+//!   reported failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+mod rng;
+mod runner;
+
+pub use gen::Gen;
+pub use rng::Rng;
+pub use runner::{check, check_with, fnv1a, Config, Failure, DEFAULT_CASES};
+
+/// Fails the enclosing property with a message unless the condition
+/// holds. Use inside a property closure returning
+/// `Result<(), String>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} ({}:{})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_compile_and_report() {
+        let outcome = (|| -> Result<(), String> {
+            prop_assert!(true);
+            prop_assert_eq!(1, 1);
+            prop_assert_ne!(1, 2);
+            prop_assert!(false, "value was {}", 42);
+            Ok(())
+        })();
+        let message = outcome.unwrap_err();
+        assert!(message.contains("value was 42"));
+    }
+}

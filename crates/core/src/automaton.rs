@@ -23,6 +23,7 @@
 //! (state 3, or state 1 for Last-Time), because roughly 60 % of
 //! conditional branches are taken (§4.2 of the paper).
 
+use tlat_trace::json::ToJson;
 use std::fmt::Debug;
 
 /// A pattern-history finite-state machine (one pattern-table entry).
@@ -186,7 +187,7 @@ impl Automaton for A4 {
 }
 
 /// Which automaton a configuration uses (runtime-selectable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AutomatonKind {
     /// [`LastTime`]
     LastTime,
@@ -314,6 +315,19 @@ impl AnyAutomaton {
             AnyAutomaton::A3(_) => AutomatonKind::A3,
             AnyAutomaton::A4(_) => AutomatonKind::A4,
         }
+    }
+}
+
+impl ToJson for AutomatonKind {
+    fn write_json(&self, out: &mut String) {
+        let name = match self {
+            AutomatonKind::LastTime => "LastTime",
+            AutomatonKind::A1 => "A1",
+            AutomatonKind::A2 => "A2",
+            AutomatonKind::A3 => "A3",
+            AutomatonKind::A4 => "A4",
+        };
+        name.write_json(out);
     }
 }
 

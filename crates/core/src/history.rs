@@ -1,6 +1,7 @@
 //! Branch history registers (the first level of the two-level scheme).
 
-use serde::{Deserialize, Serialize};
+use tlat_trace::json::{JsonObject, ToJson};
+
 
 /// Maximum supported history length, in bits.
 ///
@@ -27,7 +28,7 @@ pub const MAX_HISTORY_BITS: u8 = 16;
 /// hr.shift(true);
 /// assert_eq!(hr.pattern(), 0b1101);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistoryRegister {
     bits: u16,
     len: u8,
@@ -89,6 +90,15 @@ impl HistoryRegister {
     /// Number of distinct patterns (`2^len`) — the pattern-table size.
     pub fn pattern_count(self) -> usize {
         1usize << self.len
+    }
+}
+
+impl ToJson for HistoryRegister {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("bits", &self.bits)
+            .field("len", &self.len)
+            .finish_into(out);
     }
 }
 

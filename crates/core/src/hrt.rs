@@ -14,12 +14,12 @@
 //!   the same slot share one entry, so history interference is higher,
 //!   but the tag store is saved.
 
-use serde::{Deserialize, Serialize};
+use tlat_trace::json::{JsonObject, ToJson};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Access statistics for a history-register table.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HrtStats {
     /// Total lookups.
     pub accesses: u64,
@@ -40,7 +40,7 @@ impl HrtStats {
 }
 
 /// How a per-address history table is organized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HrtConfig {
     /// Ideal: one entry per static branch (unbounded).
     Ideal,
@@ -408,6 +408,36 @@ impl<E: Clone> HistoryTable<E> for AnyHrt<E> {
             AnyHrt::Ideal(t) => t.stats(),
             AnyHrt::Associative(t) => t.stats(),
             AnyHrt::Hashed(t) => t.stats(),
+        }
+    }
+}
+
+impl ToJson for HrtStats {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("accesses", &self.accesses)
+            .field("misses", &self.misses)
+            .finish_into(out);
+    }
+}
+
+impl ToJson for HrtConfig {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            HrtConfig::Ideal => "Ideal".write_json(out),
+            HrtConfig::Associative { entries, ways } => {
+                out.push_str("{\"Associative\":");
+                JsonObject::new()
+                    .field("entries", entries)
+                    .field("ways", ways)
+                    .finish_into(out);
+                out.push('}');
+            }
+            HrtConfig::Hashed { entries } => {
+                out.push_str("{\"Hashed\":");
+                JsonObject::new().field("entries", entries).finish_into(out);
+                out.push('}');
+            }
         }
     }
 }

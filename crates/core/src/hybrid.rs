@@ -13,15 +13,15 @@
 //!   branch. Combines per-address periodicity (the paper's scheme) with
 //!   global correlation (GAg/gshare).
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::automaton::{AnyAutomaton, Automaton, AutomatonKind, A2};
 use crate::history::HistoryRegister;
 use crate::pattern::PatternTable;
 use crate::predictor::Predictor;
-use serde::{Deserialize, Serialize};
 use tlat_trace::BranchRecord;
 
 /// Configuration of a [`Gshare`] predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GshareConfig {
     /// Global history length (table has 2^bits entries).
     pub history_bits: u8,
@@ -182,6 +182,15 @@ impl Predictor for Tournament {
         }
         self.first.update(branch);
         self.second.update(branch);
+    }
+}
+
+impl ToJson for GshareConfig {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("history_bits", &self.history_bits)
+            .field("automaton", &self.automaton)
+            .finish_into(out);
     }
 }
 

@@ -7,14 +7,14 @@
 //! the Last-Time automaton degenerates to "predict what this branch did
 //! last time".
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::automaton::{AnyAutomaton, AutomatonKind};
 use crate::hrt::{AnyHrt, HistoryTable, HrtConfig, HrtStats};
 use crate::predictor::Predictor;
-use serde::{Deserialize, Serialize};
 use tlat_trace::BranchRecord;
 
 /// Configuration of a [`LeeSmithBtb`] predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeeSmithConfig {
     /// Automaton stored per branch entry.
     pub automaton: AutomatonKind,
@@ -115,6 +115,15 @@ impl Predictor for LeeSmithBtb {
             None => self.table.get_or_allocate(branch.pc, || kind.init()).0,
         };
         *entry = entry.update(branch.taken);
+    }
+}
+
+impl ToJson for LeeSmithConfig {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("automaton", &self.automaton)
+            .field("hrt", &self.hrt)
+            .finish_into(out);
     }
 }
 

@@ -1,8 +1,8 @@
 //! The static comparison schemes: Always Taken, Always Not Taken,
 //! Backward-Taken/Forward-Not-taken, and opcode-bit profiling.
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::predictor::Predictor;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tlat_trace::{BranchClass, BranchRecord, Trace};
 
@@ -64,7 +64,7 @@ impl Predictor for Btfn {
 /// majority direction is frozen into a per-branch prediction bit (as a
 /// compiler would set an opcode hint bit). Unseen branches predict
 /// taken.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProfilePredictor {
     bits: HashMap<u32, bool>,
 }
@@ -111,6 +111,19 @@ impl Predictor for ProfilePredictor {
     }
 
     fn update(&mut self, _branch: &BranchRecord) {}
+}
+
+impl ToJson for ProfilePredictor {
+    fn write_json(&self, out: &mut String) {
+        // Deterministic output: sort the frozen bits by branch address.
+        let mut entries: Vec<(u32, bool)> = self.bits.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        let mut obj = JsonObject::new();
+        for (pc, taken) in &entries {
+            obj.field(&pc.to_string(), taken);
+        }
+        obj.finish_into(out);
+    }
 }
 
 #[cfg(test)]

@@ -11,14 +11,14 @@
 //! tested on (`Same`, the scheme's best case) and trained on a different
 //! data set (`Diff`, the realistic case, where accuracy drops).
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::history::HistoryRegister;
 use crate::hrt::{AnyHrt, HistoryTable, HrtConfig, HrtStats};
 use crate::predictor::Predictor;
-use serde::{Deserialize, Serialize};
 use tlat_trace::{BranchClass, BranchRecord, Trace};
 
 /// Configuration of a [`StaticTraining`] predictor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticTrainingConfig {
     /// History register length k.
     pub history_bits: u8,
@@ -200,6 +200,16 @@ impl Predictor for StaticTraining {
             }
         };
         hr.shift(branch.taken);
+    }
+}
+
+impl ToJson for StaticTrainingConfig {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("history_bits", &self.history_bits)
+            .field("hrt", &self.hrt)
+            .field("data", &self.data)
+            .finish_into(out);
     }
 }
 

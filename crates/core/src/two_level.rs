@@ -13,16 +13,16 @@
 //! in the HRT entry, so the next prediction of that branch is a single
 //! table lookup.
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::automaton::AutomatonKind;
 use crate::history::HistoryRegister;
 use crate::hrt::{AnyHrt, HistoryTable, HrtConfig, HrtStats};
 use crate::pattern::PatternTable;
 use crate::predictor::Predictor;
-use serde::{Deserialize, Serialize};
 use tlat_trace::BranchRecord;
 
 /// Configuration of a [`TwoLevelAdaptive`] predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwoLevelConfig {
     /// History register length k (pattern table has 2^k entries).
     pub history_bits: u8,
@@ -228,6 +228,19 @@ impl Predictor for TwoLevelAdaptive {
         if let Some(entry) = self.hrt.peek(branch.pc) {
             entry.prediction = prediction;
         }
+    }
+}
+
+impl ToJson for TwoLevelConfig {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("history_bits", &self.history_bits)
+            .field("automaton", &self.automaton)
+            .field("hrt", &self.hrt)
+            .field("cached_prediction", &self.cached_prediction)
+            .field("reinit_on_replace", &self.reinit_on_replace)
+            .field("init_not_taken", &self.init_not_taken)
+            .finish_into(out);
     }
 }
 

@@ -1,123 +1,146 @@
-//! Property-based tests for the predictor building blocks.
+//! Property-based tests for the predictor building blocks, on the
+//! in-repo `tlat-check` harness.
 
-use proptest::prelude::*;
+use tlat_check::{check, gen, prop_assert_eq, Gen};
 use tlat_core::{
     Ahrt, AnyHrt, Automaton, AutomatonKind, HistoryRegister, HistoryTable, HrtConfig, Ihrt,
     PatternTable, Predictor, TwoLevelAdaptive, TwoLevelConfig, A2,
 };
 use tlat_trace::BranchRecord;
 
-fn arb_kind() -> impl Strategy<Value = AutomatonKind> {
-    prop_oneof![
-        Just(AutomatonKind::LastTime),
-        Just(AutomatonKind::A1),
-        Just(AutomatonKind::A2),
-        Just(AutomatonKind::A3),
-        Just(AutomatonKind::A4),
-    ]
+fn arb_kind() -> Gen<AutomatonKind> {
+    gen::choose(&AutomatonKind::ALL)
 }
 
-proptest! {
-    /// Every automaton, from any reachable state, learns a constant
-    /// stream within four updates.
-    #[test]
-    fn automata_saturate_on_constant_streams(
-        kind in arb_kind(),
-        prefix in prop::collection::vec(any::<bool>(), 0..16),
-        direction in any::<bool>(),
-    ) {
-        let mut a = kind.init();
-        for t in prefix {
-            a = a.update(t);
-        }
-        for _ in 0..4 {
-            a = a.update(direction);
-        }
-        prop_assert_eq!(a.predict(), direction);
-        // And the state is a fixed point for further same-direction
-        // updates.
-        prop_assert_eq!(a.update(direction), a);
-    }
+/// Every automaton, from any reachable state, learns a constant stream
+/// within four updates.
+#[test]
+fn automata_saturate_on_constant_streams() {
+    let inputs = gen::tuple3(arb_kind(), gen::vec_of(gen::bools(), 0, 15), gen::bools());
+    check(
+        "automata_saturate_on_constant_streams",
+        &inputs,
+        |(kind, prefix, direction)| {
+            let mut a = kind.init();
+            for &t in prefix {
+                a = a.update(t);
+            }
+            for _ in 0..4 {
+                a = a.update(*direction);
+            }
+            prop_assert_eq!(a.predict(), *direction);
+            // And the state is a fixed point for further same-direction
+            // updates.
+            prop_assert_eq!(a.update(*direction), a);
+            Ok(())
+        },
+    );
+}
 
-    /// A2 behaves exactly like a clamped integer counter.
-    #[test]
-    fn a2_matches_reference_counter(outcomes in prop::collection::vec(any::<bool>(), 0..64)) {
+/// A2 behaves exactly like a clamped integer counter.
+#[test]
+fn a2_matches_reference_counter() {
+    let outcomes = gen::vec_of(gen::bools(), 0, 63);
+    check("a2_matches_reference_counter", &outcomes, |outcomes| {
         let mut a = A2::init();
         let mut counter: i32 = 3;
-        for t in outcomes {
+        for &t in outcomes {
             a = a.update(t);
-            counter = if t { (counter + 1).min(3) } else { (counter - 1).max(0) };
+            counter = if t {
+                (counter + 1).min(3)
+            } else {
+                (counter - 1).max(0)
+            };
             prop_assert_eq!(a.predict(), counter >= 2);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The history register always equals the last k outcomes.
-    #[test]
-    fn history_register_is_a_sliding_window(
-        len in 1u8..=16,
-        outcomes in prop::collection::vec(any::<bool>(), 0..64),
-    ) {
-        let mut hr = HistoryRegister::new(len);
-        for (i, &t) in outcomes.iter().enumerate() {
-            hr.shift(t);
-            // Reconstruct the expected window: the last `len` outcomes,
-            // padded with the initial ones.
-            let mut expected = 0usize;
-            for j in 0..len as usize {
-                let idx = i as i64 - j as i64;
-                let bit = if idx >= 0 { outcomes[idx as usize] } else { true };
-                expected |= (bit as usize) << j;
+/// The history register always equals the last k outcomes.
+#[test]
+fn history_register_is_a_sliding_window() {
+    let inputs = gen::tuple2(gen::u8_in(1, 16), gen::vec_of(gen::bools(), 0, 63));
+    check(
+        "history_register_is_a_sliding_window",
+        &inputs,
+        |(len, outcomes)| {
+            let len = *len;
+            let mut hr = HistoryRegister::new(len);
+            for (i, &t) in outcomes.iter().enumerate() {
+                hr.shift(t);
+                // Reconstruct the expected window: the last `len`
+                // outcomes, padded with the initial ones.
+                let mut expected = 0usize;
+                for j in 0..len as usize {
+                    let idx = i as i64 - j as i64;
+                    let bit = if idx >= 0 { outcomes[idx as usize] } else { true };
+                    expected |= (bit as usize) << j;
+                }
+                prop_assert_eq!(hr.pattern(), expected);
             }
-            prop_assert_eq!(hr.pattern(), expected);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Pattern-table updates touch exactly one entry.
-    #[test]
-    fn pattern_table_updates_are_local(
-        bits in 1u8..=10,
-        pattern_seed in any::<u64>(),
-        taken in any::<bool>(),
-    ) {
-        let mut pt = PatternTable::new(bits, AutomatonKind::A2);
-        let pattern = (pattern_seed as usize) % pt.len();
-        let before: Vec<bool> = (0..pt.len()).map(|p| pt.predict(p)).collect();
-        pt.update(pattern, taken);
-        for (p, &prior) in before.iter().enumerate() {
-            if p != pattern {
-                prop_assert_eq!(pt.predict(p), prior);
+/// Pattern-table updates touch exactly one entry.
+#[test]
+fn pattern_table_updates_are_local() {
+    let inputs = gen::tuple3(gen::u8_in(1, 10), gen::u64_any(), gen::bools());
+    check(
+        "pattern_table_updates_are_local",
+        &inputs,
+        |&(bits, pattern_seed, taken)| {
+            let mut pt = PatternTable::new(bits, AutomatonKind::A2);
+            let pattern = (pattern_seed as usize) % pt.len();
+            let before: Vec<bool> = (0..pt.len()).map(|p| pt.predict(p)).collect();
+            pt.update(pattern, taken);
+            for (p, &prior) in before.iter().enumerate() {
+                if p != pattern {
+                    prop_assert_eq!(pt.predict(p), prior);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// An AHRT with enough associativity for the working set never
-    /// evicts: behaviour matches the ideal table.
-    #[test]
-    fn ahrt_without_pressure_matches_ihrt(
-        accesses in prop::collection::vec(0u32..8, 1..200),
-    ) {
-        // 8 distinct branches, 32-entry 4-way table (8 sets): no set can
-        // overflow with only 8 distinct pcs mapping to distinct sets.
-        let mut ahrt: Ahrt<u32> = Ahrt::new(32, 4, 0);
-        let mut ihrt: Ihrt<u32> = Ihrt::new();
-        for (step, &slot) in accesses.iter().enumerate() {
-            let pc = 0x1000 + slot * 4;
-            let a = *ahrt.get_or_allocate(pc, || slot + 100).0;
-            let b = *ihrt.get_or_allocate(pc, || slot + 100).0;
-            prop_assert_eq!(a, b, "step {}", step);
-            // Mutate both identically.
-            *ahrt.peek(pc).unwrap() = step as u32;
-            *ihrt.peek(pc).unwrap() = step as u32;
-        }
-        prop_assert_eq!(ahrt.stats().misses, ihrt.stats().misses);
-    }
+/// An AHRT with enough associativity for the working set never evicts:
+/// behaviour matches the ideal table.
+#[test]
+fn ahrt_without_pressure_matches_ihrt() {
+    let accesses = gen::vec_of(gen::u32_in(0, 7), 1, 199);
+    check(
+        "ahrt_without_pressure_matches_ihrt",
+        &accesses,
+        |accesses| {
+            // 8 distinct branches, 32-entry 4-way table (8 sets): no set
+            // can overflow with only 8 distinct pcs mapping to distinct
+            // sets.
+            let mut ahrt: Ahrt<u32> = Ahrt::new(32, 4, 0);
+            let mut ihrt: Ihrt<u32> = Ihrt::new();
+            for (step, &slot) in accesses.iter().enumerate() {
+                let pc = 0x1000 + slot * 4;
+                let a = *ahrt.get_or_allocate(pc, || slot + 100).0;
+                let b = *ihrt.get_or_allocate(pc, || slot + 100).0;
+                prop_assert_eq!(a, b, "step {}", step);
+                // Mutate both identically.
+                *ahrt.peek(pc).unwrap() = step as u32;
+                *ihrt.peek(pc).unwrap() = step as u32;
+            }
+            prop_assert_eq!(ahrt.stats().misses, ihrt.stats().misses);
+            Ok(())
+        },
+    );
+}
 
-    /// The predictor is deterministic: the same branch stream always
-    /// produces the same predictions.
-    #[test]
-    fn two_level_is_deterministic(
-        stream in prop::collection::vec((0u32..32, any::<bool>()), 0..500),
-    ) {
+/// The predictor is deterministic: the same branch stream always
+/// produces the same predictions.
+#[test]
+fn two_level_is_deterministic() {
+    let stream = gen::vec_of(gen::tuple2(gen::u32_in(0, 31), gen::bools()), 0, 499);
+    check("two_level_is_deterministic", &stream, |stream| {
         let run = || {
             let mut p = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
             stream
@@ -131,49 +154,59 @@ proptest! {
                 .collect::<Vec<bool>>()
         };
         prop_assert_eq!(run(), run());
-    }
+        Ok(())
+    });
+}
 
-    /// Prediction accuracy on a perfectly periodic branch reaches 100 %
-    /// after warmup whenever the period fits in the history register.
-    #[test]
-    fn periodic_patterns_are_learned(
-        period in 1usize..10,
-        phase_seed in any::<u64>(),
-    ) {
-        let pattern: Vec<bool> = (0..period)
-            .map(|i| (phase_seed >> (i % 64)) & 1 == 1)
-            .collect();
-        let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
-            history_bits: 12,
-            hrt: HrtConfig::Ideal,
-            ..TwoLevelConfig::paper_default()
-        });
-        // Warmup: enough repetitions for every pattern position to have
-        // been trained (4 automaton updates per position).
-        let warmup = 200;
-        for _ in 0..warmup {
-            for &taken in &pattern {
-                let b = BranchRecord::conditional(0x1000, 0x800, taken);
-                p.predict(&b);
-                p.update(&b);
+/// Prediction accuracy on a perfectly periodic branch reaches 100 %
+/// after warmup whenever the period fits in the history register.
+#[test]
+fn periodic_patterns_are_learned() {
+    let inputs = gen::tuple2(gen::usize_in(1, 9), gen::u64_any());
+    check(
+        "periodic_patterns_are_learned",
+        &inputs,
+        |&(period, phase_seed)| {
+            let pattern: Vec<bool> = (0..period)
+                .map(|i| (phase_seed >> (i % 64)) & 1 == 1)
+                .collect();
+            let mut p = TwoLevelAdaptive::new(TwoLevelConfig {
+                history_bits: 12,
+                hrt: HrtConfig::Ideal,
+                ..TwoLevelConfig::paper_default()
+            });
+            // Warmup: enough repetitions for every pattern position to
+            // have been trained (4 automaton updates per position).
+            let warmup = 200;
+            for _ in 0..warmup {
+                for &taken in &pattern {
+                    let b = BranchRecord::conditional(0x1000, 0x800, taken);
+                    p.predict(&b);
+                    p.update(&b);
+                }
             }
-        }
-        // Measurement: must be perfect.
-        for rep in 0..20 {
-            for (i, &taken) in pattern.iter().enumerate() {
-                let b = BranchRecord::conditional(0x1000, 0x800, taken);
-                prop_assert_eq!(p.predict(&b), taken, "rep {} position {}", rep, i);
-                p.update(&b);
+            // Measurement: must be perfect.
+            for rep in 0..20 {
+                for (i, &taken) in pattern.iter().enumerate() {
+                    let b = BranchRecord::conditional(0x1000, 0x800, taken);
+                    prop_assert_eq!(p.predict(&b), taken, "rep {} position {}", rep, i);
+                    p.update(&b);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// AnyHrt never loses writes for a pc that stays resident.
-    #[test]
-    fn resident_entries_persist(config_pick in 0usize..3, value in any::<u32>()) {
-        let config = [HrtConfig::Ideal, HrtConfig::ahrt(512), HrtConfig::hhrt(512)][config_pick];
+/// AnyHrt never loses writes for a pc that stays resident.
+#[test]
+fn resident_entries_persist() {
+    let configs = [HrtConfig::Ideal, HrtConfig::ahrt(512), HrtConfig::hhrt(512)];
+    let inputs = gen::tuple2(gen::choose(&configs), gen::u32_any());
+    check("resident_entries_persist", &inputs, |&(config, value)| {
         let mut t = AnyHrt::build(config, 0u32);
         *t.get_or_allocate(0x1000, || 0).0 = value;
         prop_assert_eq!(*t.peek(0x1000).unwrap(), value);
-    }
+        Ok(())
+    });
 }

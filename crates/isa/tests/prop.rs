@@ -1,6 +1,7 @@
-//! Property-based tests for the assembler and interpreter.
+//! Property-based tests for the assembler and interpreter, on the
+//! in-repo `tlat-check` harness.
 
-use proptest::prelude::*;
+use tlat_check::{check, gen, prop_assert_eq};
 use tlat_isa::{Assembler, Cond, Interpreter, Reg, StopReason};
 use tlat_trace::{CountingSink, Trace};
 
@@ -9,22 +10,19 @@ fn r(i: u8) -> Reg {
 }
 
 /// Straight-line integer ALU programs never fault and never branch.
-fn arb_alu_inst() -> impl Strategy<Value = (u8, u8, u8, i64)> {
-    (
-        0u8..12, // opcode selector
-        2u8..16, // rd
-        2u8..16, // rs
-        -100i64..100,
-    )
-}
-
-proptest! {
-    #[test]
-    fn straight_line_alu_programs_run_clean(
-        insts in prop::collection::vec(arb_alu_inst(), 1..100),
-    ) {
+#[test]
+fn straight_line_alu_programs_run_clean() {
+    // (opcode selector, rd, rs, imm)
+    let inst = gen::tuple4(
+        gen::u8_in(0, 11),
+        gen::u8_in(2, 15),
+        gen::u8_in(2, 15),
+        gen::i64_in(-100, 99),
+    );
+    let insts = gen::vec_of(inst, 1, 99);
+    check("straight_line_alu_programs_run_clean", &insts, |insts| {
         let mut asm = Assembler::new();
-        for (op, rd, rs, imm) in &insts {
+        for (op, rd, rs, imm) in insts {
             let (rd, rs, imm) = (r(*rd), r(*rs), *imm);
             match op % 12 {
                 0 => asm.li(rd, imm),
@@ -52,12 +50,16 @@ proptest! {
         // The zero register is never clobbered (rd >= 2 here, but the
         // invariant must hold regardless).
         prop_assert_eq!(interp.reg(Reg::ZERO), 0);
-    }
+        Ok(())
+    });
+}
 
-    /// A counted loop executes its body exactly `n` times and emits
-    /// exactly `n` conditional branches, `n-1` taken.
-    #[test]
-    fn counted_loops_have_exact_trip_counts(n in 1i64..200) {
+/// A counted loop executes its body exactly `n` times and emits exactly
+/// `n` conditional branches, `n-1` taken.
+#[test]
+fn counted_loops_have_exact_trip_counts() {
+    let n_gen = gen::i64_in(1, 199);
+    check("counted_loops_have_exact_trip_counts", &n_gen, |&n| {
         let mut asm = Assembler::new();
         asm.li(r(2), 0);
         asm.li(r(3), n);
@@ -73,41 +75,53 @@ proptest! {
         prop_assert_eq!(trace.conditional_len(), n as u64);
         let taken = trace.iter().filter(|b| b.taken).count() as i64;
         prop_assert_eq!(taken, n - 1);
-    }
+        Ok(())
+    });
+}
 
-    /// Conditional branches evaluate exactly like the Rust comparison.
-    #[test]
-    fn branch_conditions_match_rust_semantics(
-        a in -1000i64..1000,
-        b in -1000i64..1000,
-        cond_pick in 0usize..6,
-    ) {
-        let cond = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt][cond_pick];
-        let expected = match cond {
-            Cond::Eq => a == b,
-            Cond::Ne => a != b,
-            Cond::Lt => a < b,
-            Cond::Ge => a >= b,
-            Cond::Le => a <= b,
-            Cond::Gt => a > b,
-        };
-        let mut asm = Assembler::new();
-        let t = asm.fresh_label("t");
-        asm.li(r(2), a);
-        asm.li(r(3), b);
-        asm.bc(cond, r(2), r(3), t);
-        asm.bind(t);
-        asm.halt();
-        let program = asm.finish().unwrap();
-        let mut trace = Trace::new();
-        Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
-        prop_assert_eq!(trace.branches()[0].taken, expected);
-    }
+/// Conditional branches evaluate exactly like the Rust comparison.
+#[test]
+fn branch_conditions_match_rust_semantics() {
+    let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt];
+    let inputs = gen::tuple3(
+        gen::i64_in(-1000, 999),
+        gen::i64_in(-1000, 999),
+        gen::choose(&conds),
+    );
+    check(
+        "branch_conditions_match_rust_semantics",
+        &inputs,
+        |&(a, b, cond)| {
+            let expected = match cond {
+                Cond::Eq => a == b,
+                Cond::Ne => a != b,
+                Cond::Lt => a < b,
+                Cond::Ge => a >= b,
+                Cond::Le => a <= b,
+                Cond::Gt => a > b,
+            };
+            let mut asm = Assembler::new();
+            let t = asm.fresh_label("t");
+            asm.li(r(2), a);
+            asm.li(r(3), b);
+            asm.bc(cond, r(2), r(3), t);
+            asm.bind(t);
+            asm.halt();
+            let program = asm.finish().unwrap();
+            let mut trace = Trace::new();
+            Interpreter::new(&program, 0).run(&mut trace, 100).unwrap();
+            prop_assert_eq!(trace.branches()[0].taken, expected);
+            Ok(())
+        },
+    );
+}
 
-    /// Memory loads read back exactly what stores wrote, at any
-    /// in-bounds address.
-    #[test]
-    fn store_load_roundtrip(addr in 0i64..64, value in any::<i64>()) {
+/// Memory loads read back exactly what stores wrote, at any in-bounds
+/// address.
+#[test]
+fn store_load_roundtrip() {
+    let inputs = gen::tuple2(gen::i64_in(0, 63), gen::i64_any());
+    check("store_load_roundtrip", &inputs, |&(addr, value)| {
         let mut asm = Assembler::new();
         asm.li(r(2), addr);
         asm.li(r(3), value);
@@ -118,12 +132,16 @@ proptest! {
         let mut interp = Interpreter::new(&program, 64);
         interp.run(&mut CountingSink::new(), 100).unwrap();
         prop_assert_eq!(interp.reg(r(4)), value);
-    }
+        Ok(())
+    });
+}
 
-    /// Nested calls return in LIFO order through the link register and
-    /// an explicit spill, whatever the nesting depth.
-    #[test]
-    fn nested_calls_return_correctly(depth in 1usize..40) {
+/// Nested calls return in LIFO order through the link register and an
+/// explicit spill, whatever the nesting depth.
+#[test]
+fn nested_calls_return_correctly() {
+    let depth_gen = gen::usize_in(1, 39);
+    check("nested_calls_return_correctly", &depth_gen, |&depth| {
         // f_k increments r2 then calls f_{k+1}; the innermost returns.
         // Each frame spills the link register to memory.
         let sp = r(30);
@@ -159,13 +177,14 @@ proptest! {
             .count();
         prop_assert_eq!(calls, depth);
         prop_assert_eq!(rets, depth);
-    }
+        Ok(())
+    });
 }
 
 /// Generates a random but well-formed program, disassembles it, parses
 /// the text back, and requires instruction-level identity.
 mod roundtrip {
-    use proptest::prelude::*;
+    use tlat_check::{check, gen, prop_assert_eq};
     use tlat_isa::{parse_program, Assembler, Cond, FCond, FReg, Reg};
 
     fn r(i: u8) -> Reg {
@@ -176,16 +195,21 @@ mod roundtrip {
         FReg::new(i % 32)
     }
 
-    proptest! {
-        #[test]
-        fn disassemble_parse_roundtrip(
-            picks in prop::collection::vec((0u8..30, any::<u8>(), any::<u8>(), -100i64..100), 1..60),
-        ) {
+    #[test]
+    fn disassemble_parse_roundtrip() {
+        let pick = gen::tuple4(
+            gen::u8_in(0, 29),
+            gen::u8_any(),
+            gen::u8_any(),
+            gen::i64_in(-100, 99),
+        );
+        let picks = gen::vec_of(pick, 1, 59);
+        check("disassemble_parse_roundtrip", &picks, |picks| {
             let mut asm = Assembler::new();
             // One shared label bound at the start keeps every branch
             // target valid.
             let top = asm.bind_fresh("top");
-            for &(op, a, b, imm) in &picks {
+            for &(op, a, b, imm) in picks {
                 let (ra, rb) = (r(a), r(b));
                 let (fa, fb) = (f(a), f(b));
                 match op {
@@ -226,6 +250,7 @@ mod roundtrip {
             let text = program.disassemble_plain();
             let reparsed = parse_program(&text).unwrap();
             prop_assert_eq!(program.insts(), reparsed.insts());
-        }
+            Ok(())
+        });
     }
 }

@@ -5,18 +5,18 @@
 //! `Scheme(History(Size, Entry_Content), Pattern(Size, Entry_Content), Data)`,
 //! and [`table2`] reproduces the paper's full configuration list.
 
-use serde::{Deserialize, Serialize};
 use tlat_core::{
     AlwaysNotTaken, AlwaysTaken, AutomatonKind, Btfn, HrtConfig, LeeSmithBtb, LeeSmithConfig,
     Predictor, ProfilePredictor, StaticTraining, StaticTrainingConfig, TwoLevelAdaptive,
     TwoLevelConfig, TwoLevelVariant, VariantConfig,
 };
+use tlat_trace::json::{JsonObject, ToJson};
 use tlat_core::{Gshare, GshareConfig, Tournament};
 use tlat_trace::Trace;
 
 /// Which data set a trained scheme was trained on, relative to the
 /// test run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrainingData {
     /// Trained on the same data set it is tested on (the scheme's best
     /// case).
@@ -36,7 +36,7 @@ impl TrainingData {
 }
 
 /// A complete description of one simulated predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchemeConfig {
     /// Two-Level Adaptive Training (`AT`).
     TwoLevel(TwoLevelConfig),
@@ -242,6 +242,54 @@ pub fn taxonomy() -> Vec<SchemeConfig> {
             chooser_entries: 1024,
         },
     ]
+}
+
+impl ToJson for TrainingData {
+    fn write_json(&self, out: &mut String) {
+        self.label().write_json(out);
+    }
+}
+
+impl ToJson for SchemeConfig {
+    fn write_json(&self, out: &mut String) {
+        fn tagged(out: &mut String, tag: &str, inner: &dyn ToJson) {
+            out.push('{');
+            tlat_trace::json::write_escaped(tag, out);
+            out.push(':');
+            inner.write_json(out);
+            out.push('}');
+        }
+        match self {
+            SchemeConfig::TwoLevel(c) => tagged(out, "TwoLevel", c),
+            SchemeConfig::StaticTraining {
+                history_bits,
+                hrt,
+                data,
+            } => {
+                out.push_str("{\"StaticTraining\":");
+                JsonObject::new()
+                    .field("history_bits", history_bits)
+                    .field("hrt", hrt)
+                    .field("data", data)
+                    .finish_into(out);
+                out.push('}');
+            }
+            SchemeConfig::LeeSmith(c) => tagged(out, "LeeSmith", c),
+            SchemeConfig::Variant(c) => tagged(out, "Variant", c),
+            SchemeConfig::Gshare(c) => tagged(out, "Gshare", c),
+            SchemeConfig::Tournament { chooser_entries } => {
+                out.push_str("{\"Tournament\":");
+                JsonObject::new()
+                    .field("chooser_entries", chooser_entries)
+                    .finish_into(out);
+                out.push('}');
+            }
+            SchemeConfig::Profile => "Profile".write_json(out),
+            SchemeConfig::AlwaysTaken => "AlwaysTaken".write_json(out),
+            SchemeConfig::AlwaysNotTaken => "AlwaysNotTaken".write_json(out),
+            SchemeConfig::Btfn => "Btfn".write_json(out),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,14 +7,15 @@
 //! and speedups for a parameterized pipeline, quantifying the paper's
 //! "this reduction can lead directly to a large performance gain".
 
-use serde::{Deserialize, Serialize};
+use tlat_trace::json::{JsonObject, ToJson};
+
 
 /// A simple in-order pipeline cost model.
 ///
 /// `CPI = base_cpi + f_cond · miss_rate · flush_penalty`, where
 /// `f_cond` is the fraction of dynamic instructions that are
 /// conditional branches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineModel {
     /// Cycles per instruction with perfect prediction.
     pub base_cpi: f64,
@@ -69,6 +70,15 @@ impl PipelineModel {
 impl Default for PipelineModel {
     fn default() -> Self {
         PipelineModel::deep()
+    }
+}
+
+impl ToJson for PipelineModel {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("base_cpi", &self.base_cpi)
+            .field("flush_penalty", &self.flush_penalty)
+            .finish_into(out);
     }
 }
 

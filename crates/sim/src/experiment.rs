@@ -5,9 +5,8 @@ use crate::engine::simulate;
 use crate::metrics::SimResult;
 use crate::report::Report;
 use crate::traces::TraceStore;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tlat_core::{AutomatonKind, HrtConfig};
 use tlat_trace::{geometric_mean, BranchClass, InstClass, Trace};
 use tlat_workloads::{Workload, WorkloadKind};
@@ -80,24 +79,53 @@ impl Harness {
 
     /// Runs a set of configurations over the full suite (in parallel)
     /// and renders the paper-style accuracy table.
+    ///
+    /// The parallel fan-out is an execution detail only: the rendered
+    /// report is byte-identical to
+    /// [`accuracy_table_sequential`](Self::accuracy_table_sequential).
     pub fn accuracy_table(&self, title: &str, configs: &[SchemeConfig]) -> Report {
         self.prewarm();
         // One task per (config, workload); results keyed by indices.
         let results: Mutex<HashMap<(usize, usize), Option<f64>>> = Mutex::new(HashMap::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, config) in configs.iter().enumerate() {
                 for (wi, workload) in self.workloads.iter().enumerate() {
                     let results = &results;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let accuracy = self.run_one(config, workload).map(|r| r.accuracy());
-                        results.lock().insert((ci, wi), accuracy);
+                        results.lock().unwrap().insert((ci, wi), accuracy);
                     });
                 }
             }
-        })
-        .expect("simulation thread panicked");
-        let results = results.into_inner();
+        });
+        let results = results.into_inner().unwrap();
+        self.render_accuracy(title, configs, &results)
+    }
 
+    /// The sequential reference path for
+    /// [`accuracy_table`](Self::accuracy_table): one (config, workload)
+    /// simulation at a time, in order. Exists so tests can assert the
+    /// parallel fan-out changes nothing observable.
+    pub fn accuracy_table_sequential(&self, title: &str, configs: &[SchemeConfig]) -> Report {
+        let mut results: HashMap<(usize, usize), Option<f64>> = HashMap::new();
+        for (ci, config) in configs.iter().enumerate() {
+            for (wi, workload) in self.workloads.iter().enumerate() {
+                let accuracy = self.run_one(config, workload).map(|r| r.accuracy());
+                results.insert((ci, wi), accuracy);
+            }
+        }
+        self.render_accuracy(title, configs, &results)
+    }
+
+    /// Renders per-cell accuracies (keyed by config and workload index)
+    /// into the paper-style table, appending the three geometric-mean
+    /// columns.
+    fn render_accuracy(
+        &self,
+        title: &str,
+        configs: &[SchemeConfig],
+        results: &HashMap<(usize, usize), Option<f64>>,
+    ) -> Report {
         let mut report = Report::new(title, self.accuracy_columns());
         for (ci, config) in configs.iter().enumerate() {
             let mut values: Vec<Option<f64>> = (0..self.workloads.len())
@@ -455,6 +483,19 @@ mod tests {
         for row in &report.rows {
             assert!(row.values.iter().all(|v| v.is_some()));
         }
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_are_byte_identical() {
+        let h = harness();
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::st(HrtConfig::Ideal, 12, TrainingData::Diff),
+            SchemeConfig::Btfn,
+        ];
+        let parallel = h.accuracy_table("determinism", &configs);
+        let sequential = h.accuracy_table_sequential("determinism", &configs);
+        assert_eq!(parallel.to_string(), sequential.to_string());
     }
 
     #[test]

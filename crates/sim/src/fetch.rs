@@ -8,8 +8,8 @@
 //! direction predictor, a [`TargetBuffer`] and a return-address stack
 //! and scores the *next-address* correctness per branch class.
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::metrics::PredictionStats;
-use serde::{Deserialize, Serialize};
 use tlat_core::{HrtConfig, Predictor, TargetBuffer};
 use tlat_trace::{BranchClass, ReturnAddressStack, Trace};
 
@@ -32,7 +32,7 @@ impl Default for FetchOptions {
 }
 
 /// Per-class and overall fetch-redirect accuracy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FetchResult {
     /// Conditional branches: direction and (when taken) target must both
     /// be right.
@@ -112,6 +112,17 @@ pub fn simulate_fetch(
         }
     }
     result
+}
+
+impl ToJson for FetchResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("conditional", &self.conditional)
+            .field("returns", &self.returns)
+            .field("uncond_imm", &self.uncond_imm)
+            .field("uncond_reg", &self.uncond_reg)
+            .finish_into(out);
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 //! Prediction-accuracy metrics.
 
-use serde::{Deserialize, Serialize};
+use tlat_trace::json::{JsonObject, ToJson};
 use tlat_trace::RasStats;
 
 /// Accuracy counters for one predictor on one trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictionStats {
     /// Conditional branches predicted.
     pub predicted: u64,
@@ -42,7 +42,7 @@ impl PredictionStats {
 }
 
 /// Full result of simulating one predictor over one trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimResult {
     /// Conditional-branch direction prediction counters.
     pub conditional: PredictionStats,
@@ -55,6 +55,24 @@ impl SimResult {
     /// axis).
     pub fn accuracy(&self) -> f64 {
         self.conditional.accuracy()
+    }
+}
+
+impl ToJson for PredictionStats {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("predicted", &self.predicted)
+            .field("correct", &self.correct)
+            .finish_into(out);
+    }
+}
+
+impl ToJson for SimResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("conditional", &self.conditional)
+            .field("ras", &self.ras)
+            .finish_into(out);
     }
 }
 

@@ -8,13 +8,13 @@
 //! describes: "a prediction miss requires flushing of the speculative
 //! execution already in progress".
 
+use tlat_trace::json::{JsonObject, ToJson};
 use crate::metrics::PredictionStats;
-use serde::{Deserialize, Serialize};
 use tlat_core::{HrtConfig, Predictor, TargetBuffer};
 use tlat_trace::{BranchClass, ReturnAddressStack, Trace};
 
 /// Parameters of the timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingModel {
     /// Instructions the front end can deliver per cycle when streaming.
     pub fetch_width: u32,
@@ -56,7 +56,7 @@ impl Default for TimingModel {
 }
 
 /// Result of a timing simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimingResult {
     /// Total cycles simulated.
     pub cycles: u64,
@@ -142,6 +142,28 @@ pub fn simulate_timing(
         }
     }
     result
+}
+
+impl ToJson for TimingModel {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("fetch_width", &self.fetch_width)
+            .field("flush_penalty", &self.flush_penalty)
+            .field("ras_entries", &self.ras_entries)
+            .field("btb", &self.btb)
+            .finish_into(out);
+    }
+}
+
+impl ToJson for TimingResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("cycles", &self.cycles)
+            .field("instructions", &self.instructions)
+            .field("flushes", &self.flushes)
+            .field("conditional", &self.conditional)
+            .finish_into(out);
+    }
 }
 
 #[cfg(test)]

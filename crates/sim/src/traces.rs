@@ -5,9 +5,8 @@
 //! generates each workload's traces once and shares them across every
 //! configuration.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tlat_trace::Trace;
 use tlat_workloads::Workload;
 
@@ -83,7 +82,7 @@ impl TraceStore {
 
     fn get(&self, workload: &Workload, which: Which) -> Arc<Trace> {
         let key = (workload.name.to_owned(), which);
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             return Arc::clone(hit);
         }
         // Generate outside the lock so distinct workloads build in
@@ -97,21 +96,24 @@ impl TraceStore {
         }
         .unwrap_or_else(|e| panic!("workload {} faulted: {e}", workload.name));
         let trace = Arc::new(trace);
-        self.cache.lock().insert(key, Arc::clone(&trace));
+        self.cache.lock().unwrap().insert(key, Arc::clone(&trace));
         trace
     }
 
     /// Pre-generates every trace for `workloads` in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any generation thread panics (a workload bug).
     pub fn prewarm(&self, workloads: &[Workload]) {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in workloads {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     self.test(w);
                     self.train(w);
                 });
             }
-        })
-        .expect("trace generation thread panicked");
+        });
     }
 }
 
@@ -149,6 +151,6 @@ mod tests {
         let store = TraceStore::new(500);
         let workloads = vec![by_name("eqntott").unwrap(), by_name("espresso").unwrap()];
         store.prewarm(&workloads);
-        assert_eq!(store.cache.lock().len(), 3); // 2 test + 1 train
+        assert_eq!(store.cache.lock().unwrap().len(), 3); // 2 test + 1 train
     }
 }

@@ -1,6 +1,7 @@
 //! Branch and instruction classification types.
 
-use serde::{Deserialize, Serialize};
+use crate::cursor::{PutBytes, Reader};
+use crate::json::{JsonObject, ToJson};
 use std::fmt;
 
 /// The four branch classes of §4 of the paper.
@@ -10,7 +11,7 @@ use std::fmt;
 /// return-address stack), immediate unconditional branches (target known
 /// at decode), and unconditional branches through a register (target known
 /// only when the register value is ready).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BranchClass {
     /// A conditional branch; the class the paper's predictors target.
     Conditional,
@@ -69,7 +70,7 @@ impl fmt::Display for BranchClass {
 
 /// Dynamic instruction categories, used for the Figure 3 instruction-mix
 /// distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum InstClass {
     /// Integer ALU operation.
     IntAlu,
@@ -116,7 +117,7 @@ impl fmt::Display for InstClass {
 /// A thin wrapper over `bool` kept for readability at call sites: the
 /// paper records `1` for taken and `0` for not taken in the history
 /// registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// The branch was not taken (fall-through).
     NotTaken,
@@ -163,7 +164,7 @@ impl fmt::Display for Outcome {
 }
 
 /// One executed branch instruction in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     /// Address of the branch instruction.
     pub pc: u32,
@@ -270,13 +271,13 @@ impl BranchRecord {
         Outcome::from(self.taken)
     }
 
-    pub(crate) fn encode_into(&self, out: &mut impl bytes::BufMut) {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u32_le(self.pc);
         out.put_u32_le(self.target);
         out.put_u8(self.class.code() | ((self.call as u8) << 6) | ((self.taken as u8) << 7));
     }
 
-    pub(crate) fn decode_from(input: &mut impl bytes::Buf) -> Option<Self> {
+    pub(crate) fn decode_from(input: &mut Reader<'_>) -> Option<Self> {
         if input.remaining() < 9 {
             return None;
         }
@@ -291,6 +292,53 @@ impl BranchRecord {
             taken: flags & 0x80 != 0,
             call: flags & 0x40 != 0,
         })
+    }
+}
+
+impl ToJson for BranchClass {
+    fn write_json(&self, out: &mut String) {
+        let name = match self {
+            BranchClass::Conditional => "Conditional",
+            BranchClass::Return => "Return",
+            BranchClass::ImmediateUnconditional => "ImmediateUnconditional",
+            BranchClass::RegisterUnconditional => "RegisterUnconditional",
+        };
+        name.write_json(out);
+    }
+}
+
+impl ToJson for InstClass {
+    fn write_json(&self, out: &mut String) {
+        let name = match self {
+            InstClass::IntAlu => "IntAlu",
+            InstClass::FpAlu => "FpAlu",
+            InstClass::Mem => "Mem",
+            InstClass::Branch => "Branch",
+            InstClass::Other => "Other",
+        };
+        name.write_json(out);
+    }
+}
+
+impl ToJson for Outcome {
+    fn write_json(&self, out: &mut String) {
+        let name = match self {
+            Outcome::NotTaken => "NotTaken",
+            Outcome::Taken => "Taken",
+        };
+        name.write_json(out);
+    }
+}
+
+impl ToJson for BranchRecord {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field("pc", &self.pc)
+            .field("target", &self.target)
+            .field("class", &self.class)
+            .field("taken", &self.taken)
+            .field("call", &self.call)
+            .finish_into(out);
     }
 }
 
@@ -365,15 +413,23 @@ mod tests {
             let mut buf = Vec::new();
             rec.encode_into(&mut buf);
             assert_eq!(buf.len(), 9);
-            let mut slice = &buf[..];
-            assert_eq!(BranchRecord::decode_from(&mut slice), Some(rec));
+            let mut reader = Reader::new(&buf);
+            assert_eq!(BranchRecord::decode_from(&mut reader), Some(rec));
         }
     }
 
     #[test]
     fn decode_rejects_short_input() {
-        let mut short: &[u8] = &[1, 2, 3];
+        let mut short = Reader::new(&[1, 2, 3]);
         assert_eq!(BranchRecord::decode_from(&mut short), None);
+    }
+
+    #[test]
+    fn records_serialize_as_json() {
+        let text = BranchRecord::call_imm(0x40, 0x80).to_json();
+        assert!(crate::json::validate(&text), "{text}");
+        assert!(text.contains("\"class\":\"ImmediateUnconditional\""));
+        assert!(text.contains("\"call\":true"));
     }
 
     #[test]

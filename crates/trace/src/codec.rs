@@ -19,9 +19,9 @@
 //! ```
 
 use crate::branch::{BranchRecord, InstClass};
+use crate::cursor::{PutBytes, Reader};
 use crate::stats::InstMix;
 use crate::trace::Trace;
-use bytes::{Buf, BufMut};
 use std::error::Error;
 use std::fmt;
 
@@ -80,13 +80,14 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] when the input is not a serialized trace, is
 /// truncated, or contains a malformed record.
-pub fn decode(mut input: &[u8]) -> Result<Trace, DecodeError> {
+pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
+    let mut input = Reader::new(input);
     if input.remaining() < 4 {
         return Err(DecodeError::BadMagic);
     }
-    let has_gaps = if input[..4] == MAGIC_V2 {
+    let has_gaps = if input.rest()[..4] == MAGIC_V2 {
         true
-    } else if input[..4] == MAGIC_V1 {
+    } else if input.rest()[..4] == MAGIC_V1 {
         false
     } else {
         return Err(DecodeError::BadMagic);

@@ -1,0 +1,155 @@
+//! Std-only byte cursor: little-endian reads over a slice and writes
+//! into a `Vec<u8>`.
+//!
+//! This replaces the `bytes` crate's `Buf`/`BufMut` for the trace
+//! codec. The reader is a plain slice window — callers check
+//! [`Reader::remaining`] before reading, exactly as the codec's
+//! truncation handling requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use tlat_trace::cursor::{PutBytes, Reader};
+//!
+//! let mut buf = Vec::new();
+//! buf.put_u32_le(0xdead_beef);
+//! buf.put_u8(7);
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(r.get_u32_le(), 0xdead_beef);
+//! assert_eq!(r.get_u8(), 7);
+//! assert_eq!(r.remaining(), 0);
+//! ```
+
+/// Little-endian write helpers for a growable byte buffer.
+pub trait PutBytes {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a byte slice verbatim.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// A read cursor over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The unread remainder as a slice.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    pub fn advance(&mut self, n: usize) {
+        self.buf = &self.buf[n..];
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is empty; check [`Self::remaining`] first.
+    pub fn get_u8(&mut self) -> u8 {
+        let v = self.buf[0];
+        self.buf = &self.buf[1..];
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    pub fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_le_bytes(head.try_into().expect("split_at(4) is four bytes"))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    pub fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        u64::from_le_bytes(head.try_into().expect("split_at(8) is eight bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_then_reads_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u32_le(123_456);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_slice(b"xyz");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u32_le(), 123_456);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.rest(), b"xyz");
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout_is_exact() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0x0403_0201);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        buf.clear();
+        buf.put_u64_le(0x0807_0605_0403_0201);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_the_end_panics() {
+        let mut r = Reader::new(&[1, 2]);
+        let _ = r.get_u32_le();
+    }
+}

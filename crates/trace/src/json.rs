@@ -1,0 +1,447 @@
+//! Hand-rolled JSON serialization — the workspace's replacement for
+//! `serde`/`serde_json`.
+//!
+//! Every report-bearing type in the workspace implements [`ToJson`] by
+//! hand (the former `#[derive(Serialize)]` sites). The module also
+//! carries a small syntax [`validate`] used by tests and the bench
+//! harness to assert that emitted report lines are well-formed.
+//!
+//! Conventions (matching what serde's derive would have produced):
+//!
+//! * structs → objects with the field names as keys;
+//! * unit enum variants → the variant name as a string;
+//! * data-carrying enum variants → externally tagged objects,
+//!   `{"Variant":{...}}`;
+//! * non-finite floats → `null`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tlat_trace::json::{JsonObject, ToJson};
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field("name", &"fig5").field("accuracy", &0.97);
+//! assert_eq!(obj.finish(), r#"{"name":"fig5","accuracy":0.97}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Types that can serialize themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value serialized as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+macro_rules! int_to_json {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )+};
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` prints the shortest representation that parses
+            // back to the same f64 (and always includes `.0` for
+            // integral values, keeping the token a JSON number).
+            let _ = write!(out, "{self:?}");
+        } else {
+            // JSON has no NaN/Infinity.
+            out.push_str("null");
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (*self).write_json(out);
+    }
+}
+
+/// Incremental JSON object writer. Fields serialize in insertion
+/// order; keys are escaped.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    /// Appends one `"name":value` member.
+    pub fn field(&mut self, name: &str, value: &dyn ToJson) -> &mut Self {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        write_escaped(name, &mut self.buf);
+        self.buf.push(':');
+        value.write_json(&mut self.buf);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&mut self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+
+    /// Closes the object, appending the JSON text to `out`.
+    pub fn finish_into(&mut self, out: &mut String) {
+        out.push('{');
+        out.push_str(&self.buf);
+        out.push('}');
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+/// Checks that `text` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace). Used by tests and the bench
+/// harness to guard emitted report lines.
+pub fn validate(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if !parse_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(_) => parse_number(b, pos),
+        None => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            c if c < 0x20 => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(42u32.to_json(), "42");
+        assert_eq!((-7i64).to_json(), "-7");
+        assert_eq!(0.5f64.to_json(), "0.5");
+        assert_eq!(1.0f64.to_json(), "1.0");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!("hi".to_json(), "\"hi\"");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        assert_eq!(Some(3u32).to_json(), "3");
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!([1u64, 2].to_json(), "[1,2]");
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 123456.789, f64::MIN_POSITIVE] {
+            let text = v.to_json();
+            assert_eq!(text.parse::<f64>().unwrap(), v, "{text}");
+            assert!(validate(&text), "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let text = nasty.to_json();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert!(validate(&text));
+    }
+
+    #[test]
+    fn object_builder_orders_fields() {
+        let mut obj = JsonObject::new();
+        obj.field("a", &1u32)
+            .field("b", &"two")
+            .field("c", &vec![3.0f64]);
+        let text = obj.finish();
+        assert_eq!(text, r#"{"a":1,"b":"two","c":[3.0]}"#);
+        assert!(validate(&text));
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert!(validate("{}"));
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_inputs() {
+        for ok in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"str\"",
+            "[]",
+            "[1,[2,{}],\"x\"]",
+            r#"{"k":{"nested":[null,false]}}"#,
+            " { \"k\" : 1 } ",
+        ] {
+            assert!(validate(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"k\"}",
+            "{\"k\":}",
+            "{k:1}",
+            "\"unterminated",
+            "01abc",
+            "1 2",
+            "nul",
+            "\"bad\\q\"",
+            "[1][2]",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(!validate(bad), "{bad}");
+        }
+    }
+}

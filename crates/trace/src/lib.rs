@@ -18,6 +18,10 @@
 //! * [`ReturnAddressStack`] — the return-address predictor the paper uses
 //!   for subroutine-return branches.
 //! * [`codec`] — a compact binary serialization of traces.
+//! * [`cursor`] — the std-only byte cursor behind the codec.
+//! * [`json`] — hand-rolled JSON serialization ([`json::ToJson`]) used
+//!   by every report-bearing type in the workspace (the repo's
+//!   zero-dependency replacement for serde).
 //!
 //! # Examples
 //!
@@ -36,6 +40,8 @@
 
 mod branch;
 pub mod codec;
+pub mod cursor;
+pub mod json;
 mod ras;
 mod sink;
 mod stats;

@@ -1,12 +1,12 @@
 //! Derived trace statistics backing Table 1 and Figures 3–4.
 
 use crate::branch::{BranchClass, InstClass};
+use crate::json::{JsonObject, ToJson};
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Dynamic instruction mix counters (Figure 3 of the paper).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InstMix {
     counts: [u64; 5],
 }
@@ -61,7 +61,7 @@ impl InstMix {
 
 /// Distribution of dynamic branches over the four branch classes
 /// (Figure 4 of the paper).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassDistribution {
     counts: [u64; 4],
 }
@@ -103,7 +103,7 @@ impl ClassDistribution {
 }
 
 /// Statistics derived from a whole trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Number of distinct conditional-branch sites (Table 1).
     pub static_conditional_branches: usize,
@@ -153,6 +153,45 @@ impl TraceStats {
     /// Fraction of dynamic instructions that are branches (any class).
     pub fn branch_fraction(&self) -> f64 {
         self.inst_mix.fraction(InstClass::Branch)
+    }
+}
+
+impl ToJson for InstMix {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        for class in InstClass::ALL {
+            obj.field(class.label(), &self.get(class));
+        }
+        obj.finish_into(out);
+    }
+}
+
+impl ToJson for ClassDistribution {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        for class in BranchClass::ALL {
+            obj.field(class.label(), &self.get(class));
+        }
+        obj.finish_into(out);
+    }
+}
+
+impl ToJson for TraceStats {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new()
+            .field(
+                "static_conditional_branches",
+                &self.static_conditional_branches,
+            )
+            .field("static_branches", &self.static_branches)
+            .field(
+                "dynamic_conditional_branches",
+                &self.dynamic_conditional_branches,
+            )
+            .field("class_distribution", &self.class_distribution)
+            .field("inst_mix", &self.inst_mix)
+            .field("taken_rate", &self.taken_rate)
+            .finish_into(out);
     }
 }
 

@@ -1,0 +1,126 @@
+//! Golden-vector tests pinning the trace codec's wire format.
+//!
+//! The byte layouts below are frozen: cached traces on disk must stay
+//! readable across releases, so any codec change that breaks these
+//! vectors is a format break, not a refactor.
+
+use tlat_trace::codec::{self, DecodeError};
+use tlat_trace::{BranchRecord, InstClass, Trace};
+
+/// The trace behind the v2 golden vector: two leading ALU ops, a taken
+/// conditional, one memory op, a return, then an immediate call.
+fn golden_trace() -> Trace {
+    let mut t = Trace::new();
+    t.count_instruction(InstClass::IntAlu);
+    t.count_instruction(InstClass::IntAlu);
+    t.push(BranchRecord::conditional(0x1000, 0x0f00, true));
+    t.count_instruction(InstClass::Mem);
+    t.push(BranchRecord::subroutine_return(0x1008, 0x2000));
+    t.push(BranchRecord::call_imm(0x100c, 0x0040));
+    t
+}
+
+/// Format v2: magic, five u64 LE mix counters (IntAlu, FpAlu, Mem,
+/// Branch, Other), u64 LE record count, then 13 bytes per record
+/// (u32 LE pc, u32 LE target, flags = class | call<<6 | taken<<7,
+/// u32 LE instruction gap).
+#[rustfmt::skip]
+const GOLDEN_V2: &[u8] = &[
+    b'T', b'L', b'A', b'2',
+    2, 0, 0, 0, 0, 0, 0, 0,             // IntAlu = 2
+    0, 0, 0, 0, 0, 0, 0, 0,             // FpAlu  = 0
+    1, 0, 0, 0, 0, 0, 0, 0,             // Mem    = 1
+    3, 0, 0, 0, 0, 0, 0, 0,             // Branch = 3
+    0, 0, 0, 0, 0, 0, 0, 0,             // Other  = 0
+    3, 0, 0, 0, 0, 0, 0, 0,             // 3 records
+    0x00, 0x10, 0, 0, 0x00, 0x0f, 0, 0, 0x80, 2, 0, 0, 0, // cond taken, gap 2
+    0x08, 0x10, 0, 0, 0x00, 0x20, 0, 0, 0x81, 1, 0, 0, 0, // return, gap 1
+    0x0c, 0x10, 0, 0, 0x40, 0x00, 0, 0, 0xc2, 0, 0, 0, 0, // imm call, gap 0
+];
+
+/// Format v1 (decode-only legacy): same header, 9-byte records with no
+/// gap field. One not-taken conditional.
+#[rustfmt::skip]
+const GOLDEN_V1: &[u8] = &[
+    b'T', b'L', b'A', b'1',
+    1, 0, 0, 0, 0, 0, 0, 0,             // IntAlu = 1
+    0, 0, 0, 0, 0, 0, 0, 0,             // FpAlu  = 0
+    0, 0, 0, 0, 0, 0, 0, 0,             // Mem    = 0
+    1, 0, 0, 0, 0, 0, 0, 0,             // Branch = 1
+    0, 0, 0, 0, 0, 0, 0, 0,             // Other  = 0
+    1, 0, 0, 0, 0, 0, 0, 0,             // 1 record
+    0x10, 0, 0, 0, 0x20, 0, 0, 0, 0x00, // cond not taken
+];
+
+#[test]
+fn encode_matches_v2_golden_bytes() {
+    assert_eq!(codec::encode(&golden_trace()), GOLDEN_V2);
+}
+
+#[test]
+fn decode_v2_golden_bytes() {
+    let t = codec::decode(GOLDEN_V2).unwrap();
+    assert_eq!(t, golden_trace());
+    assert_eq!(t.gaps(), &[2, 1, 0]);
+    assert_eq!(t.inst_mix().get(InstClass::IntAlu), 2);
+    assert_eq!(t.conditional_len(), 1);
+}
+
+#[test]
+fn decode_v1_golden_bytes() {
+    let t = codec::decode(GOLDEN_V1).unwrap();
+    assert_eq!(t.len(), 1);
+    assert_eq!(
+        t.branches()[0],
+        BranchRecord::conditional(0x10, 0x20, false)
+    );
+    // V1 carries no gap data; decoded gaps are zero.
+    assert_eq!(t.gaps(), &[0]);
+    assert_eq!(t.inst_mix().get(InstClass::IntAlu), 1);
+    assert_eq!(t.inst_mix().get(InstClass::Branch), 1);
+}
+
+#[test]
+fn bad_magic_variants() {
+    assert_eq!(codec::decode(b""), Err(DecodeError::BadMagic));
+    assert_eq!(codec::decode(b"TL"), Err(DecodeError::BadMagic));
+    assert_eq!(codec::decode(b"TLA3"), Err(DecodeError::BadMagic));
+    let mut wrong = GOLDEN_V2.to_vec();
+    wrong[3] = b'9';
+    assert_eq!(codec::decode(&wrong), Err(DecodeError::BadMagic));
+}
+
+#[test]
+fn truncation_at_every_boundary() {
+    // Header cut, record cut, and a v2 record missing only its gap.
+    for cut in [4, 20, 52, GOLDEN_V2.len() - 4, GOLDEN_V2.len() - 1] {
+        assert_eq!(
+            codec::decode(&GOLDEN_V2[..cut]),
+            Err(DecodeError::Truncated),
+            "cut at {cut}"
+        );
+    }
+    assert_eq!(
+        codec::decode(&GOLDEN_V1[..GOLDEN_V1.len() - 1]),
+        Err(DecodeError::Truncated)
+    );
+}
+
+#[test]
+fn declared_length_longer_than_payload_is_truncated() {
+    let mut bytes = GOLDEN_V2.to_vec();
+    bytes[44] = 4; // claim 4 records, supply 3
+    assert_eq!(codec::decode(&bytes), Err(DecodeError::Truncated));
+}
+
+#[test]
+fn bad_record_reports_index() {
+    // Class code 4 (flags low bits) does not exist.
+    let mut bytes = GOLDEN_V2.to_vec();
+    let second_flags = 4 + 48 + 13 + 8;
+    bytes[second_flags] = 0x04;
+    assert_eq!(
+        codec::decode(&bytes),
+        Err(DecodeError::BadRecord { index: 1 })
+    );
+}

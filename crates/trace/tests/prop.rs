@@ -1,70 +1,89 @@
-//! Property-based tests for the trace crate.
+//! Property-based tests for the trace crate, on the in-repo
+//! `tlat-check` harness.
 
-use proptest::prelude::*;
+use tlat_check::{check, gen, prop_assert, prop_assert_eq, Gen};
 use tlat_trace::{codec, BranchClass, BranchRecord, InstClass, ReturnAddressStack, Trace};
 
-fn arb_class() -> impl Strategy<Value = BranchClass> {
-    prop_oneof![
-        Just(BranchClass::Conditional),
-        Just(BranchClass::Return),
-        Just(BranchClass::ImmediateUnconditional),
-        Just(BranchClass::RegisterUnconditional),
-    ]
+fn arb_class() -> Gen<BranchClass> {
+    gen::choose(&BranchClass::ALL)
 }
 
-fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (
-        any::<u32>(),
-        any::<u32>(),
+fn arb_record() -> Gen<BranchRecord> {
+    gen::tuple5(
+        gen::u32_any(),
+        gen::u32_any(),
         arb_class(),
-        any::<bool>(),
-        any::<bool>(),
+        gen::bools(),
+        gen::bools(),
     )
-        .prop_map(|(pc, target, class, cond_taken, is_call)| BranchRecord {
-            pc,
-            target,
-            class,
-            // Non-conditional branches are always taken by construction.
-            taken: if class == BranchClass::Conditional {
-                cond_taken
-            } else {
-                true
-            },
-            // Only unconditional branches can be calls.
-            call: is_call
-                && matches!(
-                    class,
-                    BranchClass::ImmediateUnconditional | BranchClass::RegisterUnconditional
-                ),
-        })
+    .map(|(pc, target, class, cond_taken, is_call)| BranchRecord {
+        pc,
+        target,
+        class,
+        // Non-conditional branches are always taken by construction.
+        taken: if class == BranchClass::Conditional {
+            cond_taken
+        } else {
+            true
+        },
+        // Only unconditional branches can be calls.
+        call: is_call
+            && matches!(
+                class,
+                BranchClass::ImmediateUnconditional | BranchClass::RegisterUnconditional
+            ),
+    })
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrip(records in prop::collection::vec(arb_record(), 0..256),
-                       extra_ints in 0u8..50, extra_mems in 0u8..50) {
+#[test]
+fn codec_roundtrip() {
+    let inputs = gen::tuple3(
+        gen::vec_of(arb_record(), 0, 255),
+        gen::u8_in(0, 49),
+        gen::u8_in(0, 49),
+    );
+    check("codec_roundtrip", &inputs, |(records, ints, mems)| {
         let mut trace = Trace::new();
-        for r in &records {
+        for r in records {
             trace.push(*r);
         }
-        for _ in 0..extra_ints {
+        for _ in 0..*ints {
             trace.count_instruction(InstClass::IntAlu);
         }
-        for _ in 0..extra_mems {
+        for _ in 0..*mems {
             trace.count_instruction(InstClass::Mem);
         }
         let bytes = codec::encode(&trace);
         let back = codec::decode(&bytes).unwrap();
         prop_assert_eq!(&trace, &back);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        let _ = codec::decode(&bytes);
-    }
+#[test]
+fn decode_never_panics_on_garbage() {
+    let bytes = gen::vec_of(gen::u8_any(), 0, 511);
+    check("decode_never_panics_on_garbage", &bytes, |bytes| {
+        let _ = codec::decode(bytes);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stats_counts_match_manual(records in prop::collection::vec(arb_record(), 0..256)) {
+#[test]
+fn text_codec_roundtrip() {
+    let records = gen::vec_of(arb_record(), 0, 128);
+    check("text_codec_roundtrip", &records, |records| {
+        let trace: Trace = records.iter().copied().collect();
+        let back = codec::decode_text(&codec::encode_text(&trace)).unwrap();
+        prop_assert_eq!(&trace, &back);
+        Ok(())
+    });
+}
+
+#[test]
+fn stats_counts_match_manual() {
+    let records = gen::vec_of(arb_record(), 0, 255);
+    check("stats_counts_match_manual", &records, |records| {
         let trace: Trace = records.iter().copied().collect();
         let stats = trace.stats();
         let manual_cond = records
@@ -81,22 +100,31 @@ proptest! {
         pcs.sort_unstable();
         pcs.dedup();
         prop_assert_eq!(stats.static_conditional_branches, pcs.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ras_balanced_calls_always_predict(depth in 1usize..24, capacity in 24usize..64) {
-        // With capacity >= depth, perfectly nested call/return streams
-        // predict every return.
-        let mut ras = ReturnAddressStack::new(capacity);
-        for d in 0..depth {
-            ras.push(d as u32 * 4 + 8);
-        }
-        for d in (0..depth).rev() {
-            prop_assert!(ras.predict_and_verify(d as u32 * 4 + 8));
-        }
-        prop_assert_eq!(ras.stats().predictions, depth as u64);
-        prop_assert_eq!(ras.stats().correct, depth as u64);
-        prop_assert_eq!(ras.stats().overflows, 0);
-        prop_assert_eq!(ras.stats().underflows, 0);
-    }
+#[test]
+fn ras_balanced_calls_always_predict() {
+    let inputs = gen::tuple2(gen::usize_in(1, 23), gen::usize_in(24, 63));
+    check(
+        "ras_balanced_calls_always_predict",
+        &inputs,
+        |&(depth, capacity)| {
+            // With capacity >= depth, perfectly nested call/return
+            // streams predict every return.
+            let mut ras = ReturnAddressStack::new(capacity);
+            for d in 0..depth {
+                ras.push(d as u32 * 4 + 8);
+            }
+            for d in (0..depth).rev() {
+                prop_assert!(ras.predict_and_verify(d as u32 * 4 + 8));
+            }
+            prop_assert_eq!(ras.stats().predictions, depth as u64);
+            prop_assert_eq!(ras.stats().correct, depth as u64);
+            prop_assert_eq!(ras.stats().overflows, 0);
+            prop_assert_eq!(ras.stats().underflows, 0);
+            Ok(())
+        },
+    );
 }

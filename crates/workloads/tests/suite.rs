@@ -162,3 +162,38 @@ fn extra_li_guest_runs_on_the_same_vm() {
     let trace = tlat_workloads::run_trace(&fib, 10_000).unwrap();
     assert_eq!(trace.conditional_len(), 10_000);
 }
+
+#[test]
+fn trace_generation_is_deterministic_across_runs_and_threads() {
+    // Every workload is a pure function of (program, input, budget):
+    // regenerating a trace — in this thread, again in this thread, or
+    // concurrently from a worker thread — must produce byte-identical
+    // encodings. The parallel prewarm/experiment paths depend on this.
+    use std::sync::Mutex;
+    use tlat_check::fnv1a;
+    use tlat_trace::codec;
+
+    fn hash_of(w: &tlat_workloads::Workload) -> u64 {
+        fnv1a(&codec::encode(&w.trace_test(5_000).unwrap()))
+    }
+
+    let workloads = all();
+    let reference: Vec<u64> = workloads.iter().map(hash_of).collect();
+    for (w, &expected) in workloads.iter().zip(&reference) {
+        assert_eq!(hash_of(w), expected, "{}: rerun diverged", w.name);
+    }
+
+    let parallel = Mutex::new(vec![0u64; workloads.len()]);
+    std::thread::scope(|scope| {
+        for (i, w) in workloads.iter().enumerate() {
+            let parallel = &parallel;
+            scope.spawn(move || {
+                parallel.lock().unwrap()[i] = hash_of(w);
+            });
+        }
+    });
+    let parallel = parallel.into_inner().unwrap();
+    for ((w, &expected), &got) in workloads.iter().zip(&reference).zip(&parallel) {
+        assert_eq!(got, expected, "{}: parallel generation diverged", w.name);
+    }
+}

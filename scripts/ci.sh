@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate, run hermetically: the workspace must build, test, and
+# smoke-run every bench target with the network unplugged, because it
+# depends on nothing outside this repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Zero-dependency policy: every [workspace.dependencies] entry must be
+# a path dependency into crates/. A version/git/registry entry means an
+# off-repo dependency crept back in.
+offenders=$(awk '
+    /^\[/ { in_table = ($0 == "[workspace.dependencies]") ; next }
+    in_table && NF && $0 !~ /^#/ && $0 !~ /\{ *path *=/ { print }
+' Cargo.toml)
+if [[ -n "$offenders" ]]; then
+    echo "error: non-path entries in [workspace.dependencies]:" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
+# Tier-1: release build + full test suite, offline, across every
+# workspace member (plain `cargo test` would only cover the root
+# facade package).
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+# Smoke-run every bench target (--test puts them in smoke mode: tiny
+# branch budgets, single iterations — see crates/bench/src/lib.rs).
+cargo bench -q --offline -p tlat-bench -- --test
+
+echo "ci: OK"
