@@ -12,13 +12,21 @@
 //!
 //! The conditional-branch budget per benchmark defaults to 500 000 and
 //! can be overridden with the `TLAT_BRANCH_LIMIT` environment variable.
+//! Sweeps run on a bounded worker pool (`TLAT_THREADS`, or the
+//! `--threads` flag) and generated traces persist in a disk cache
+//! (`TLAT_TRACE_CACHE`, or `--cache-dir`/`--no-cache`) so repeat runs
+//! skip workload interpretation entirely.
 
 use std::process::ExitCode;
 use tlat_sim::{table2, Harness, PipelineModel};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tlat <command>\n\
+        "usage: tlat [flags] <command>\n\
+         flags:\n\
+         \u{20}  --threads <n>     worker-pool size (= TLAT_THREADS)\n\
+         \u{20}  --cache-dir <dir> trace-cache directory (= TLAT_TRACE_CACHE)\n\
+         \u{20}  --no-cache        disable the persistent trace cache\n\
          commands:\n\
          \u{20}  table <1|2|3>     regenerate a paper table\n\
          \u{20}  fig <3..10>       regenerate a paper figure\n\
@@ -33,13 +41,37 @@ fn usage() -> ExitCode {
          \u{20}  simulate <file> [i]  run a config over a trace file\n\
          \u{20}  warmup <bench> [i]   windowed accuracy curve\n\
          \u{20}  report            full experiment log as markdown\n\
-         environment: TLAT_BRANCH_LIMIT (default 500000)"
+         environment: TLAT_BRANCH_LIMIT (default 500000),\n\
+         \u{20}             TLAT_THREADS (default: all cores),\n\
+         \u{20}             TLAT_TRACE_CACHE (default target/tlat-cache; 0/off disables)"
     );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags, consumed before the subcommand. They act by setting
+    // the corresponding environment variable, so the harness (and any
+    // code it spawns) picks them up through the one configuration path.
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--threads") => {
+                let Some(n) = args.get(1) else { return usage() };
+                std::env::set_var("TLAT_THREADS", n);
+                args.drain(..2);
+            }
+            Some("--cache-dir") => {
+                let Some(dir) = args.get(1) else { return usage() };
+                std::env::set_var("TLAT_TRACE_CACHE", dir);
+                args.drain(..2);
+            }
+            Some("--no-cache") => {
+                std::env::set_var("TLAT_TRACE_CACHE", "off");
+                args.drain(..1);
+            }
+            _ => break,
+        }
+    }
     let harness = Harness::from_env();
     match args.first().map(String::as_str) {
         Some("table") => match args.get(1).map(String::as_str) {

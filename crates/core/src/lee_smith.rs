@@ -116,6 +116,16 @@ impl Predictor for LeeSmithBtb {
         };
         *entry = entry.update(branch.taken);
     }
+
+    fn predict_update(&mut self, branch: &BranchRecord) -> bool {
+        // Fused cycle: one buffer search serves both phases; state and
+        // stats match predict-then-update exactly.
+        let kind = self.config.automaton;
+        let (entry, _) = self.table.get_or_allocate(branch.pc, || kind.init());
+        let guess = entry.predict();
+        *entry = entry.update(branch.taken);
+        guess
+    }
 }
 
 impl ToJson for LeeSmithConfig {

@@ -201,6 +201,18 @@ impl Predictor for StaticTraining {
         };
         hr.shift(branch.taken);
     }
+
+    fn predict_update(&mut self, branch: &BranchRecord) -> bool {
+        // Fused cycle: one HRT search serves both phases; state and
+        // stats match predict-then-update exactly.
+        let bits = self.config.history_bits;
+        let (hr, _) = self
+            .hrt
+            .get_or_allocate(branch.pc, || HistoryRegister::new(bits));
+        let pattern = hr.pattern();
+        hr.shift(branch.taken);
+        self.preset[pattern]
+    }
 }
 
 impl ToJson for StaticTrainingConfig {

@@ -1,0 +1,232 @@
+//! Persistent on-disk trace cache.
+//!
+//! Generating a workload trace (assembling and interpreting an M88-lite
+//! program) dwarfs the cost of simulating predictors over it, yet every
+//! process used to regenerate all nine workloads from scratch. This
+//! module persists generated traces through the existing TLA2 binary
+//! codec so a second `tlat report` (or bench) run skips generation
+//! entirely.
+//!
+//! Cache entries live under `target/tlat-cache/` by default, or the
+//! directory named by the `TLAT_TRACE_CACHE` environment variable
+//! (`TLAT_TRACE_CACHE=0`, `off`, or the empty string disables the cache
+//! altogether). Each entry is keyed by a [`TraceKey`] fingerprint over
+//! the workload name, data-set identity (name, seed, scale), branch
+//! budget, and [`tlat_workloads::CODEGEN_VERSION`] — any change to the
+//! inputs or to the generators lands on a different file name, so stale
+//! entries are never *read*, only orphaned. Corrupt or truncated files
+//! are caught by the codec's magic/length checks and regenerated in
+//! place.
+
+use std::path::{Path, PathBuf};
+use tlat_trace::{codec, Trace};
+use tlat_workloads::DataSet;
+
+/// Environment variable naming the cache directory (or disabling the
+/// cache when set to `0`, `off`, or empty).
+pub const TRACE_CACHE_ENV: &str = "TLAT_TRACE_CACHE";
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "target/tlat-cache";
+
+/// Identity of one cached trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceKey<'a> {
+    /// Workload name (e.g. `"gcc"`).
+    pub workload: &'a str,
+    /// Which trace of the workload: `"test"` or `"train"`.
+    pub role: &'a str,
+    /// The data set the trace was generated from.
+    pub input: &'a DataSet,
+    /// Conditional-branch budget the trace was generated under.
+    pub budget: u64,
+}
+
+impl TraceKey<'_> {
+    /// FNV-1a fingerprint over every field that can change the
+    /// generated trace, including the generator version itself.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+            // Field separator so concatenations cannot collide.
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(PRIME);
+        };
+        eat(self.workload.as_bytes());
+        eat(self.role.as_bytes());
+        eat(self.input.name.as_bytes());
+        eat(&self.input.seed.to_le_bytes());
+        eat(&(self.input.scale as u64).to_le_bytes());
+        eat(&self.budget.to_le_bytes());
+        eat(&tlat_workloads::CODEGEN_VERSION.to_le_bytes());
+        hash
+    }
+
+    /// The cache file name for this key: human-skimmable prefix plus
+    /// the full fingerprint.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{:016x}.tla2",
+            self.workload,
+            self.role,
+            self.fingerprint()
+        )
+    }
+}
+
+/// A directory of codec-serialized traces.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// A cache rooted at `root` (created lazily on first store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DiskCache { root: root.into() }
+    }
+
+    /// The environment-configured cache: `TLAT_TRACE_CACHE` names the
+    /// directory, defaulting to [`DEFAULT_CACHE_DIR`]; `0`, `off`, or
+    /// an empty value disables caching (`None`).
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(TRACE_CACHE_ENV) {
+            Ok(dir) if matches!(dir.as_str(), "" | "0" | "off") => None,
+            Ok(dir) => Some(DiskCache::new(dir)),
+            Err(_) => Some(DiskCache::new(DEFAULT_CACHE_DIR)),
+        }
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path for a key.
+    pub fn path_for(&self, key: &TraceKey<'_>) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Loads the cached trace for `key`, or `None` on a cold miss.
+    ///
+    /// A present-but-invalid file (corrupt, truncated, wrong magic) is
+    /// reported on stderr, deleted, and treated as a miss so the caller
+    /// regenerates it.
+    pub fn load(&self, key: &TraceKey<'_>) -> Option<Trace> {
+        let path = self.path_for(key);
+        match codec::read_file(&path) {
+            Ok(trace) => Some(trace),
+            Err(codec::FileError::Io(_)) => None,
+            Err(codec::FileError::Decode(e)) => {
+                eprintln!(
+                    "warning: trace cache entry {} is invalid ({e}); regenerating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `trace` under `key`. Best-effort: an I/O failure is
+    /// reported on stderr and otherwise ignored (the cache is an
+    /// optimization, never a correctness dependency).
+    pub fn store(&self, key: &TraceKey<'_>, trace: &Trace) {
+        let path = self.path_for(key);
+        let write = std::fs::create_dir_all(&self.root)
+            .and_then(|()| codec::write_file_atomic(&path, trace));
+        if let Err(e) = write {
+            eprintln!(
+                "warning: cannot persist trace cache entry {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlat_workloads::SyntheticStream;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlat-diskcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key<'a>(input: &'a DataSet, budget: u64) -> TraceKey<'a> {
+        TraceKey {
+            workload: "synthetic",
+            role: "test",
+            input,
+            budget,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let dir = scratch_dir("roundtrip");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 7, 3);
+        let trace = SyntheticStream::mixed(0xabc, 16).generate(500);
+        let k = key(&input, 500);
+        assert!(cache.load(&k).is_none(), "cold cache must miss");
+        cache.store(&k, &trace);
+        assert_eq!(cache.load(&k).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_not_served() {
+        let dir = scratch_dir("corrupt");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 7, 3);
+        let trace = SyntheticStream::mixed(0xabc, 16).generate(200);
+        let k = key(&input, 200);
+        cache.store(&k, &trace);
+        let path = cache.path_for(&k);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(cache.load(&k).is_none(), "corrupt entry must read as a miss");
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_field() {
+        let a = DataSet::new("a", 1, 2);
+        let base = key(&a, 100).fingerprint();
+        let other_budget = key(&a, 101).fingerprint();
+        let b = DataSet::new("a", 2, 2);
+        let other_seed = key(&b, 100).fingerprint();
+        let mut train = key(&a, 100);
+        train.role = "train";
+        assert_ne!(base, other_budget);
+        assert_ne!(base, other_seed);
+        assert_ne!(base, train.fingerprint());
+        // Stable across calls.
+        assert_eq!(base, key(&a, 100).fingerprint());
+    }
+
+    #[test]
+    fn store_failure_is_non_fatal() {
+        // Root is a *file*, so create_dir_all must fail.
+        let dir = scratch_dir("nonfatal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocked = dir.join("blocked");
+        std::fs::write(&blocked, b"not a directory").unwrap();
+        let cache = DiskCache::new(&blocked);
+        let input = DataSet::new("unit", 1, 1);
+        let trace = SyntheticStream::mixed(1, 4).generate(50);
+        cache.store(&key(&input, 50), &trace); // must not panic
+        assert!(cache.load(&key(&input, 50)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

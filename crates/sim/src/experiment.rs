@@ -2,20 +2,44 @@
 
 use crate::config::{SchemeConfig, TrainingData};
 use crate::engine::simulate;
+use crate::gang::{gang_simulate, GangLane};
 use crate::metrics::SimResult;
+use crate::pool;
 use crate::report::Report;
 use crate::traces::TraceStore;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use tlat_core::{AutomatonKind, HrtConfig};
+use tlat_core::{
+    AutomatonKind, HrtConfig, ProfilePredictor, StaticTraining, StaticTrainingConfig,
+    TrainingProfile,
+};
 use tlat_trace::{geometric_mean, BranchClass, InstClass, Trace};
 use tlat_workloads::{Workload, WorkloadKind};
+
+/// Memoized training artifacts, shared across every sweep a harness
+/// runs.
+///
+/// A sweep retrains Static Training / Profiling from scratch for every
+/// (config, workload) cell, but the artifacts are pure functions of
+/// (training trace, history length): per-pattern taken counts for ST,
+/// per-branch majority bits for Profiling. Caching them turns the
+/// training passes of an N-row sweep — and of every later sweep over
+/// the same workloads — into hash lookups.
+#[derive(Debug, Default)]
+struct TrainedCache {
+    /// `(workload, diff-training?, history_bits)` → ST profile.
+    profiles: HashMap<(String, bool, u8), Arc<TrainingProfile>>,
+    /// `workload` → trained profiling predictor (always trained on the
+    /// test trace; lanes take a clone).
+    profilers: HashMap<String, Arc<ProfilePredictor>>,
+}
 
 /// The experiment harness: workloads + shared trace store.
 #[derive(Debug)]
 pub struct Harness {
     store: TraceStore,
     workloads: Vec<Workload>,
+    trained: Mutex<TrainedCache>,
 }
 
 impl Harness {
@@ -25,13 +49,19 @@ impl Harness {
         Harness {
             store: TraceStore::new(budget),
             workloads: tlat_workloads::all(),
+            trained: Mutex::new(TrainedCache::default()),
         }
     }
 
     /// Creates a harness with the `TLAT_BRANCH_LIMIT`-configured
-    /// budget.
+    /// budget and the `TLAT_TRACE_CACHE`-configured persistent trace
+    /// cache (on by default at `target/tlat-cache/`).
     pub fn from_env() -> Self {
-        Harness::new(crate::traces::branch_limit_from_env())
+        Harness {
+            store: TraceStore::from_env(),
+            workloads: tlat_workloads::all(),
+            trained: Mutex::new(TrainedCache::default()),
+        }
     }
 
     /// The benchmark suite.
@@ -77,35 +107,150 @@ impl Harness {
         cols
     }
 
-    /// Runs a set of configurations over the full suite (in parallel)
-    /// and renders the paper-style accuracy table.
+    /// Runs a set of configurations over the full suite and renders
+    /// the paper-style accuracy table.
     ///
-    /// The parallel fan-out is an execution detail only: the rendered
-    /// report is byte-identical to
-    /// [`accuracy_table_sequential`](Self::accuracy_table_sequential).
+    /// Execution is the gang engine on the bounded worker pool: one
+    /// single-pass trace walk per workload feeds every configuration
+    /// (see [`crate::gang`]), and the per-workload walks fan out over
+    /// at most `TLAT_THREADS` workers (see [`crate::pool`]). Both are
+    /// execution details only: the rendered report is byte-identical
+    /// to [`accuracy_table_sequential`](Self::accuracy_table_sequential).
     pub fn accuracy_table(&self, title: &str, configs: &[SchemeConfig]) -> Report {
+        self.accuracy_table_on(title, configs, pool::threads_from_env())
+    }
+
+    /// [`accuracy_table`](Self::accuracy_table) with a caller-chosen
+    /// worker count (1 = gang engine without the pool; the throughput
+    /// bench uses this to separate the two wins).
+    pub fn accuracy_table_on(&self, title: &str, configs: &[SchemeConfig], threads: usize) -> Report {
         self.prewarm();
-        // One task per (config, workload); results keyed by indices.
-        let results: Mutex<HashMap<(usize, usize), Option<f64>>> = Mutex::new(HashMap::new());
-        std::thread::scope(|scope| {
-            for (ci, config) in configs.iter().enumerate() {
-                for (wi, workload) in self.workloads.iter().enumerate() {
-                    let results = &results;
-                    scope.spawn(move || {
-                        let accuracy = self.run_one(config, workload).map(|r| r.accuracy());
-                        results.lock().unwrap().insert((ci, wi), accuracy);
-                    });
-                }
+        // One gang walk per workload; cell (ci, wi) is lane ci of walk wi.
+        let per_workload: Vec<Vec<Option<f64>>> =
+            pool::run_indexed(self.workloads.len(), threads, |wi| {
+                self.gang_workload(configs, &self.workloads[wi])
+            });
+        let mut results: HashMap<(usize, usize), Option<f64>> = HashMap::new();
+        for (wi, accuracies) in per_workload.iter().enumerate() {
+            for (ci, accuracy) in accuracies.iter().enumerate() {
+                results.insert((ci, wi), *accuracy);
             }
-        });
-        let results = results.into_inner().unwrap();
+        }
         self.render_accuracy(title, configs, &results)
+    }
+
+    /// Simulates every configuration over one workload in a single
+    /// trace walk. Cells are `None` exactly where
+    /// [`run_one`](Self::run_one) returns `None` (Diff training with no
+    /// training set).
+    fn gang_workload(&self, configs: &[SchemeConfig], workload: &Workload) -> Vec<Option<f64>> {
+        let test = self.store.test(workload);
+        let mut lanes: Vec<GangLane> = Vec::with_capacity(configs.len());
+        // accuracies[ci] stays None for excluded cells; lane results are
+        // written back through lane_of.
+        let mut accuracies: Vec<Option<f64>> = vec![None; configs.len()];
+        let mut lane_of: Vec<usize> = Vec::with_capacity(configs.len());
+        for (ci, config) in configs.iter().enumerate() {
+            match self.build_lane(config, workload, &test) {
+                Some(lane) => {
+                    lanes.push(lane);
+                    lane_of.push(ci);
+                }
+                None => continue, // the paper's Table 3 exclusions
+            }
+        }
+        for (li, result) in gang_simulate(&mut lanes, &test).iter().enumerate() {
+            accuracies[lane_of[li]] = Some(result.accuracy());
+        }
+        accuracies
+    }
+
+    /// Builds one gang lane, routing the trained schemes through the
+    /// memoized training artifacts (the sequential reference path keeps
+    /// retraining per cell, and the byte-identity tests pin the two
+    /// paths together). Returns `None` exactly where
+    /// [`run_one`](Self::run_one) does.
+    fn build_lane(
+        &self,
+        config: &SchemeConfig,
+        workload: &Workload,
+        test: &Arc<Trace>,
+    ) -> Option<GangLane> {
+        match config {
+            SchemeConfig::StaticTraining {
+                history_bits,
+                hrt,
+                data,
+            } => {
+                let diff = *data == TrainingData::Diff;
+                let profile = self.training_profile(workload, diff, *history_bits, test)?;
+                let st_config = StaticTrainingConfig {
+                    history_bits: *history_bits,
+                    hrt: *hrt,
+                    data: data.label().to_owned(),
+                };
+                Some(GangLane::Dyn(Box::new(StaticTraining::with_profile(
+                    st_config, &profile,
+                ))))
+            }
+            SchemeConfig::Profile => {
+                let profiler = self.profiler(workload, test);
+                Some(GangLane::Dyn(Box::new((*profiler).clone())))
+            }
+            // Every remaining scheme trains nothing, so no training
+            // trace is needed here.
+            other => Some(GangLane::from_config(other, None)),
+        }
+    }
+
+    /// The memoized Static Training profile for a workload. `None` when
+    /// Diff training is requested and the workload has no training set.
+    fn training_profile(
+        &self,
+        workload: &Workload,
+        diff: bool,
+        history_bits: u8,
+        test: &Arc<Trace>,
+    ) -> Option<Arc<TrainingProfile>> {
+        let key = (workload.name.to_owned(), diff, history_bits);
+        if let Some(p) = self.trained.lock().unwrap().profiles.get(&key) {
+            return Some(Arc::clone(p));
+        }
+        let trace: Arc<Trace> = if diff {
+            self.store.train(workload)?
+        } else {
+            Arc::clone(test)
+        };
+        // Collected outside the lock so concurrent workloads don't
+        // serialize; a racing duplicate computes the same pure function
+        // and the entry API keeps the first insertion.
+        let profile = Arc::new(TrainingProfile::collect(&trace, history_bits));
+        let mut cache = self.trained.lock().unwrap();
+        Some(Arc::clone(cache.profiles.entry(key).or_insert(profile)))
+    }
+
+    /// The memoized profiling predictor for a workload (trained on its
+    /// test trace, as in the paper).
+    fn profiler(&self, workload: &Workload, test: &Arc<Trace>) -> Arc<ProfilePredictor> {
+        if let Some(p) = self.trained.lock().unwrap().profilers.get(workload.name) {
+            return Arc::clone(p);
+        }
+        let trained = Arc::new(ProfilePredictor::train(test));
+        let mut cache = self.trained.lock().unwrap();
+        Arc::clone(
+            cache
+                .profilers
+                .entry(workload.name.to_owned())
+                .or_insert(trained),
+        )
     }
 
     /// The sequential reference path for
     /// [`accuracy_table`](Self::accuracy_table): one (config, workload)
-    /// simulation at a time, in order. Exists so tests can assert the
-    /// parallel fan-out changes nothing observable.
+    /// simulation at a time, in order — one full trace walk per cell.
+    /// Exists so tests can assert the gang engine and the worker pool
+    /// change nothing observable, and as the throughput bench's
+    /// per-config baseline.
     pub fn accuracy_table_sequential(&self, title: &str, configs: &[SchemeConfig]) -> Report {
         let mut results: HashMap<(usize, usize), Option<f64>> = HashMap::new();
         for (ci, config) in configs.iter().enumerate() {
@@ -496,6 +641,28 @@ mod tests {
         let parallel = h.accuracy_table("determinism", &configs);
         let sequential = h.accuracy_table_sequential("determinism", &configs);
         assert_eq!(parallel.to_string(), sequential.to_string());
+    }
+
+    #[test]
+    fn gang_engine_and_pool_match_sequential_byte_for_byte() {
+        let h = harness();
+        // A sweep exercising every lane kind — the monomorphized AT and
+        // LS fast paths, dyn fallbacks, and a Diff-training config that
+        // yields `None` cells on the four Table 3 exclusions.
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::st(HrtConfig::hhrt(512), 12, TrainingData::Diff),
+            SchemeConfig::Profile,
+            SchemeConfig::Btfn,
+        ];
+        let sequential = h.accuracy_table_sequential("determinism", &configs).to_string();
+        for threads in [1, 4] {
+            let ganged = h.accuracy_table_on("determinism", &configs, threads).to_string();
+            assert_eq!(ganged, sequential, "threads={threads}");
+        }
+        // The Diff row really does contain not-applicable cells.
+        assert!(sequential.contains('—'));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Single-pass gang simulation: one trace walk feeding many predictors.
+//!
+//! `engine::simulate` walks the branch stream once per configuration,
+//! so an N-configuration sweep pays N full memory-bandwidth passes over
+//! the same trace plus a dyn-dispatched call per branch. Sweeps are the
+//! harness's hot path (every table/figure is one), and predictors never
+//! interact — so the gang engine walks the trace *once*, feeding every
+//! configuration's predictor in turn from the same hot `BranchRecord`.
+//!
+//! Two further savings fall out:
+//!
+//! * **Monomorphization** — the common sweep schemes
+//!   ([`TwoLevelAdaptive`], [`LeeSmithBtb`]) run as concrete enum
+//!   variants of [`GangLane`], so their per-branch predict/update is a
+//!   direct (inlinable) call; everything else takes the boxed dyn
+//!   fallback lane.
+//! * **Shared RAS** — return-address-stack behaviour depends only on
+//!   the trace, never on the direction predictor, so the gang simulates
+//!   the RAS once and stamps the same stats into every lane's result.
+//!
+//! Results are bit-identical to driving [`crate::simulate_with`] once
+//! per predictor: each lane observes exactly the same predict/update
+//! sequence it would alone.
+
+use crate::config::SchemeConfig;
+use crate::engine::SimOptions;
+use crate::metrics::{PredictionStats, SimResult};
+use tlat_core::{LeeSmithBtb, Predictor, TwoLevelAdaptive};
+use tlat_trace::{BranchClass, BranchRecord, ReturnAddressStack, Trace};
+
+/// One predictor riding a gang walk.
+///
+/// The concrete variants exist purely so the per-branch inner loop can
+/// call them without dynamic dispatch; [`GangLane::Dyn`] carries every
+/// other scheme.
+pub enum GangLane {
+    /// The paper's Two-Level Adaptive Training scheme, monomorphized.
+    TwoLevel(TwoLevelAdaptive),
+    /// The Lee & Smith BTB scheme, monomorphized.
+    LeeSmith(LeeSmithBtb),
+    /// Any other predictor, behind the usual trait object.
+    Dyn(Box<dyn Predictor>),
+}
+
+impl std::fmt::Debug for GangLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("GangLane").field(&self.name()).finish()
+    }
+}
+
+impl GangLane {
+    /// Builds the lane for a configuration, picking the monomorphized
+    /// variant when one exists.
+    ///
+    /// # Panics
+    ///
+    /// As [`SchemeConfig::build`]: panics when the scheme needs a
+    /// training trace and `training` is `None`.
+    pub fn from_config(config: &SchemeConfig, training: Option<&Trace>) -> Self {
+        match config {
+            SchemeConfig::TwoLevel(c) => GangLane::TwoLevel(TwoLevelAdaptive::new(*c)),
+            SchemeConfig::LeeSmith(c) => GangLane::LeeSmith(LeeSmithBtb::new(*c)),
+            other => GangLane::Dyn(other.build(training)),
+        }
+    }
+
+    /// The predictor's configuration string.
+    pub fn name(&self) -> String {
+        match self {
+            GangLane::TwoLevel(p) => p.name(),
+            GangLane::LeeSmith(p) => p.name(),
+            GangLane::Dyn(p) => p.name(),
+        }
+    }
+
+    /// One fused predict → resolve → train cycle (see
+    /// [`Predictor::predict_update`]); the inner-loop call of the gang
+    /// walk.
+    #[inline]
+    fn predict_update(&mut self, branch: &BranchRecord) -> bool {
+        match self {
+            GangLane::TwoLevel(p) => p.predict_update(branch),
+            GangLane::LeeSmith(p) => p.predict_update(branch),
+            GangLane::Dyn(p) => p.predict_update(branch),
+        }
+    }
+}
+
+/// Simulates every lane over `trace` in a single walk, with default
+/// options. Returns one [`SimResult`] per lane, in lane order.
+pub fn gang_simulate(lanes: &mut [GangLane], trace: &Trace) -> Vec<SimResult> {
+    gang_simulate_with(lanes, trace, SimOptions::default())
+}
+
+/// Simulates every lane over `trace` in a single walk.
+///
+/// Each conditional branch runs the predict → score → update cycle for
+/// every lane before the walk advances; returns and calls drive one
+/// shared return-address stack whose stats are replicated into every
+/// result (RAS behaviour is predictor-independent).
+pub fn gang_simulate_with(
+    lanes: &mut [GangLane],
+    trace: &Trace,
+    options: SimOptions,
+) -> Vec<SimResult> {
+    let mut stats = vec![PredictionStats::default(); lanes.len()];
+    let mut ras = ReturnAddressStack::new(options.ras_entries.max(1));
+    for branch in trace.iter() {
+        match branch.class {
+            BranchClass::Conditional => {
+                for (lane, stat) in lanes.iter_mut().zip(stats.iter_mut()) {
+                    let guess = lane.predict_update(branch);
+                    stat.record(guess == branch.taken);
+                }
+            }
+            BranchClass::Return => {
+                ras.predict_and_verify(branch.target);
+            }
+            _ => {}
+        }
+        if branch.call {
+            ras.push(branch.fall_through());
+        }
+    }
+    let ras = ras.stats();
+    stats
+        .into_iter()
+        .map(|conditional| SimResult { conditional, ras })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingData;
+    use crate::engine::simulate_with;
+    use tlat_core::{AutomatonKind, HrtConfig};
+    use tlat_workloads::SyntheticStream;
+
+    fn sweep() -> Vec<SchemeConfig> {
+        vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::st(HrtConfig::Ideal, 12, TrainingData::Same),
+            SchemeConfig::Btfn,
+            SchemeConfig::Profile,
+        ]
+    }
+
+    #[test]
+    fn gang_matches_per_config_simulation_exactly() {
+        let trace = SyntheticStream::mixed(0x5eed, 48).generate(5_000);
+        let options = SimOptions { ras_entries: 16 };
+        let configs = sweep();
+        let mut lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let ganged = gang_simulate_with(&mut lanes, &trace, options);
+        for (config, gang_result) in configs.iter().zip(&ganged) {
+            let mut solo = config.build(Some(&trace));
+            let solo_result = simulate_with(solo.as_mut(), &trace, options);
+            assert_eq!(
+                gang_result.conditional, solo_result.conditional,
+                "{} diverged from the single-predictor engine",
+                config.label()
+            );
+            assert_eq!(gang_result.ras, solo_result.ras, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn monomorphized_lanes_are_used_for_the_common_schemes() {
+        let configs = sweep();
+        let lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&Trace::new())))
+            .collect();
+        assert!(matches!(lanes[0], GangLane::TwoLevel(_)));
+        assert!(matches!(lanes[1], GangLane::LeeSmith(_)));
+        assert!(matches!(lanes[2], GangLane::Dyn(_)));
+        // Lane names still come through for diagnostics.
+        assert!(lanes[0].name().starts_with("AT("));
+        assert!(format!("{:?}", lanes[1]).contains("LS("));
+    }
+
+    #[test]
+    fn empty_gang_walks_without_results() {
+        let trace = SyntheticStream::mixed(1, 4).generate(100);
+        assert!(gang_simulate(&mut [], &trace).is_empty());
+    }
+}

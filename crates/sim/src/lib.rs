@@ -13,6 +13,13 @@
 //!   [`Harness::figure3`] … [`Harness::figure10`], each returning a
 //!   [`Report`] whose rows mirror the published series.
 //!
+//! Sweeps execute through a three-layer performance architecture —
+//! the single-pass [`gang`] engine (one trace walk feeds every
+//! configuration), the bounded [`pool`] worker pool (`TLAT_THREADS`),
+//! and the persistent [`diskcache`] trace cache (`TLAT_TRACE_CACHE`) —
+//! all behaviour-transparent: reports stay byte-identical to the
+//! sequential reference path.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,14 +44,21 @@ mod report;
 mod timing;
 mod traces;
 
+pub mod diskcache;
+pub mod gang;
+pub mod pool;
+
 pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
 pub use cost::PipelineModel;
 pub use delayed::{simulate_delayed, DelayOptions, DelayStats, DelayedResult};
 pub use diagnostics::{per_site, windowed_accuracy, worst_sites_report, SiteStats};
+pub use diskcache::{DiskCache, TraceKey};
 pub use engine::{simulate, simulate_with, SimOptions};
 pub use experiment::Harness;
 pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
+pub use gang::{gang_simulate, gang_simulate_with, GangLane};
 pub use metrics::{PredictionStats, SimResult};
+pub use pool::threads_from_env;
 pub use report::{Report, ReportRow};
 pub use timing::{simulate_timing, TimingModel, TimingResult};
 pub use traces::{branch_limit_from_env, TraceStore, DEFAULT_BRANCH_LIMIT};

@@ -1,0 +1,146 @@
+//! Bounded worker pool for the experiment harness.
+//!
+//! The harness used to spawn one OS thread per (configuration,
+//! workload) cell, which oversubscribes the machine as sweeps grow.
+//! [`run_indexed`] instead runs `tasks` closures on at most
+//! [`threads_from_env`] workers: the tasks form a shared queue (an
+//! atomic cursor over the index space) and idle workers steal the next
+//! unclaimed index, so the pool load-balances without any task ever
+//! running twice.
+//!
+//! Result collection is deterministic by construction: task `i`'s
+//! result lands in slot `i` of the returned vector regardless of which
+//! worker ran it or in what order tasks finished, so callers (and the
+//! byte-identity tests in `experiment.rs`) observe exactly the
+//! sequential outcome.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable bounding the worker count.
+pub const THREADS_ENV: &str = "TLAT_THREADS";
+
+/// Reads the worker-pool size from `TLAT_THREADS`, falling back to
+/// [`std::thread::available_parallelism`] (and 1 as a last resort).
+///
+/// An unparsable or zero value is reported on stderr — naming the bad
+/// value — and ignored, rather than silently swallowed.
+pub fn threads_from_env() -> usize {
+    let default = || std::thread::available_parallelism().map_or(1, usize::from);
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "warning: ignoring {THREADS_ENV}={raw:?} (not a positive integer); \
+                     using {} worker thread(s)",
+                    default()
+                );
+                default()
+            }
+        },
+        Err(_) => default(),
+    }
+}
+
+/// Runs `f(0) .. f(tasks - 1)` on a pool of at most `threads` workers
+/// and returns the results in task order.
+///
+/// With `threads <= 1` (or a single task) everything runs inline on
+/// the calling thread — the degenerate pool IS the sequential path, so
+/// there is no separate code path to drift from.
+///
+/// # Panics
+///
+/// Propagates a panic from any task (the remaining workers drain the
+/// queue first, as with [`std::thread::scope`]).
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                *slot.lock().unwrap() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// [`run_indexed`] with the environment-configured worker count.
+pub fn run_indexed_from_env<T, F>(tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(tasks, threads_from_env(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1, 2, 8, 64] {
+            let out = run_indexed(20, threads, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn pool_never_exceeds_the_thread_bound() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_indexed(32, 3, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn empty_and_single_task_sets_work() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn env_default_is_positive() {
+        // Do not mutate the process environment (tests run in
+        // parallel); just exercise the default path.
+        assert!(threads_from_env() >= 1);
+    }
+}

@@ -121,6 +121,63 @@ pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
     Ok(trace)
 }
 
+// ---------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------
+
+/// Error returned by [`read_file`]: the file could not be read or its
+/// contents are not a valid serialized trace.
+#[derive(Debug)]
+pub enum FileError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file's contents failed to decode (wrong magic, truncation,
+    /// or a malformed record).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileError::Io(e) => write!(f, "cannot read trace file: {e}"),
+            FileError::Decode(e) => write!(f, "invalid trace file: {e}"),
+        }
+    }
+}
+
+impl Error for FileError {}
+
+/// Reads and decodes a binary trace file written by
+/// [`write_file_atomic`] (or any [`encode`] output).
+///
+/// # Errors
+///
+/// Returns [`FileError::Io`] when the file cannot be read and
+/// [`FileError::Decode`] when its contents are corrupt or truncated —
+/// callers treating the file as a cache should regenerate on either.
+pub fn read_file(path: &std::path::Path) -> Result<Trace, FileError> {
+    let bytes = std::fs::read(path).map_err(FileError::Io)?;
+    decode(&bytes).map_err(FileError::Decode)
+}
+
+/// Encodes `trace` and writes it to `path` via a same-directory
+/// temporary file and a rename, so concurrent readers never observe a
+/// half-written trace (they see either the old file or the new one).
+///
+/// # Errors
+///
+/// Propagates any I/O error; the temporary file is removed on failure.
+pub fn write_file_atomic(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    let bytes = encode(trace);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +248,27 @@ mod tests {
         assert!(DecodeError::BadRecord { index: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    #[test]
+    fn file_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("tlat-codec-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tla2");
+        let t = sample_trace();
+        write_file_atomic(&path, &t).unwrap();
+        assert_eq!(read_file(&path).unwrap(), t);
+        // A missing file is an Io error; a corrupt one a Decode error.
+        assert!(matches!(
+            read_file(&dir.join("absent.tla2")),
+            Err(FileError::Io(_))
+        ));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let err = read_file(&path).unwrap_err();
+        assert!(matches!(err, FileError::Decode(DecodeError::Truncated)));
+        assert!(!err.to_string().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

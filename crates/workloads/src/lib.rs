@@ -53,6 +53,15 @@ mod rng;
 mod spice;
 mod tomcatv;
 
+/// Version of the workload code generators.
+///
+/// Any change to a workload program, its data-memory layout, or the
+/// shared codegen helpers that could alter a generated trace MUST bump
+/// this constant: persistent trace caches (see `tlat-sim`) key their
+/// entries on it, and a stale version would silently serve traces from
+/// the previous generation of the generators.
+pub const CODEGEN_VERSION: u32 = 1;
+
 pub use input::DataSet;
 pub use li::{build as build_li_vm, fib_input as li_fibonacci_input};
 pub use markov::{SiteBehavior, SyntheticStream};

@@ -28,4 +28,22 @@ cargo test -q --offline --workspace
 # branch budgets, single iterations — see crates/bench/src/lib.rs).
 cargo bench -q --offline -p tlat-bench -- --test
 
+# Sweep-throughput bench smoke: capture its BENCHJSON lines into
+# BENCH_sweep.json (one JSON object per line) so the perf trajectory of
+# the gang engine / worker pool / baseline starts recording.
+cargo bench -q --offline -p tlat-bench --bench sweep -- --test \
+    | sed -n 's/^BENCHJSON //p' > BENCH_sweep.json
+[[ -s BENCH_sweep.json ]] || {
+    echo "error: sweep bench emitted no BENCHJSON lines" >&2
+    exit 1
+}
+
+# Concurrency discipline: every thread fan-out in crates/sim must go
+# through the bounded worker pool (crates/sim/src/pool.rs); a bare
+# scope.spawn elsewhere bypasses the TLAT_THREADS bound.
+if grep -rn 'scope\.spawn' crates/sim/src | grep -v '^crates/sim/src/pool\.rs:'; then
+    echo "error: bare scope.spawn in crates/sim outside the pool module" >&2
+    exit 1
+fi
+
 echo "ci: OK"
