@@ -16,6 +16,13 @@
 //! `--threads` flag) and generated traces persist in a disk cache
 //! (`TLAT_TRACE_CACHE`, or `--cache-dir`/`--no-cache`) so repeat runs
 //! skip workload interpretation entirely.
+//!
+//! Sweeps are fault-tolerant: a panicking or erroring cell is isolated
+//! (rendered `✗` with a footnote) instead of killing the run, and
+//! `--resume` (= `TLAT_RESUME=1`) checkpoints completed cells under
+//! the trace cache so a killed sweep recomputes only what is missing.
+//! `TLAT_FAULTS=<spec>:<seed>` injects deterministic faults for
+//! testing the recovery paths (see EXPERIMENTS.md).
 
 use std::process::ExitCode;
 use tlat_sim::{table2, Harness, PipelineModel};
@@ -27,6 +34,7 @@ fn usage() -> ExitCode {
          \u{20}  --threads <n>     worker-pool size (= TLAT_THREADS)\n\
          \u{20}  --cache-dir <dir> trace-cache directory (= TLAT_TRACE_CACHE)\n\
          \u{20}  --no-cache        disable the persistent trace cache\n\
+         \u{20}  --resume          checkpoint sweep cells; resume a killed sweep (= TLAT_RESUME=1)\n\
          commands:\n\
          \u{20}  table <1|2|3>     regenerate a paper table\n\
          \u{20}  fig <3..10>       regenerate a paper figure\n\
@@ -43,7 +51,9 @@ fn usage() -> ExitCode {
          \u{20}  report            full experiment log as markdown\n\
          environment: TLAT_BRANCH_LIMIT (default 500000),\n\
          \u{20}             TLAT_THREADS (default: all cores),\n\
-         \u{20}             TLAT_TRACE_CACHE (default target/tlat-cache; 0/off disables)"
+         \u{20}             TLAT_TRACE_CACHE (default target/tlat-cache; 0/off disables),\n\
+         \u{20}             TLAT_RESUME (1/on enables sweep checkpoint/resume),\n\
+         \u{20}             TLAT_FAULTS (deterministic fault injection, e.g. io@0,corrupt@1,panic@2:42)"
     );
     ExitCode::FAILURE
 }
@@ -67,6 +77,10 @@ fn main() -> ExitCode {
             }
             Some("--no-cache") => {
                 std::env::set_var("TLAT_TRACE_CACHE", "off");
+                args.drain(..1);
+            }
+            Some("--resume") => {
+                std::env::set_var("TLAT_RESUME", "1");
                 args.drain(..1);
             }
             _ => break,

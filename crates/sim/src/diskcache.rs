@@ -14,11 +14,33 @@
 //! the workload name, data-set identity (name, seed, scale), branch
 //! budget, and [`tlat_workloads::CODEGEN_VERSION`] — any change to the
 //! inputs or to the generators lands on a different file name, so stale
-//! entries are never *read*, only orphaned. Corrupt or truncated files
-//! are caught by the codec's magic/length checks and regenerated in
-//! place.
+//! entries are never *read*, only orphaned.
+//!
+//! # Failure model
+//!
+//! The cache is an optimization, never a correctness dependency, and
+//! every failure degrades rather than aborts:
+//!
+//! * **Corrupt or truncated entries** are caught by the codec's
+//!   magic/length checks, reported on stderr, evicted (best-effort),
+//!   and regenerated in place.
+//! * **Transient read errors** are retried up to [`READ_RETRIES`]
+//!   times with a short bounded backoff before the load degrades to a
+//!   miss.
+//! * **Persistent write failures** (unwritable directory, full disk)
+//!   are warned about and counted; after [`STORE_STRIKES`] consecutive
+//!   failures the cache stops attempting writes for the rest of the
+//!   process instead of paying (and logging) the same failure for
+//!   every trace.
+//!
+//! All three paths are exercised deterministically by the
+//! [`crate::faults`] injection harness (`TLAT_FAULTS`).
 
+use crate::error::SimError;
+use crate::faults::{CacheFault, Faults};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use tlat_trace::{codec, Trace};
 use tlat_workloads::DataSet;
 
@@ -28,6 +50,14 @@ pub const TRACE_CACHE_ENV: &str = "TLAT_TRACE_CACHE";
 
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "target/tlat-cache";
+
+/// Transient read errors are retried this many times before the load
+/// degrades to a cache miss.
+pub const READ_RETRIES: u32 = 3;
+
+/// Consecutive store failures after which the cache stops attempting
+/// writes for the rest of the process.
+pub const STORE_STRIKES: u32 = 3;
 
 /// Identity of one cached trace.
 #[derive(Debug, Clone, Copy)]
@@ -46,26 +76,15 @@ impl TraceKey<'_> {
     /// FNV-1a fingerprint over every field that can change the
     /// generated trace, including the generator version itself.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(PRIME);
-            }
-            // Field separator so concatenations cannot collide.
-            hash ^= 0xff;
-            hash = hash.wrapping_mul(PRIME);
-        };
-        eat(self.workload.as_bytes());
-        eat(self.role.as_bytes());
-        eat(self.input.name.as_bytes());
-        eat(&self.input.seed.to_le_bytes());
-        eat(&(self.input.scale as u64).to_le_bytes());
-        eat(&self.budget.to_le_bytes());
-        eat(&tlat_workloads::CODEGEN_VERSION.to_le_bytes());
-        hash
+        let mut fnv = Fnv::new();
+        fnv.eat(self.workload.as_bytes());
+        fnv.eat(self.role.as_bytes());
+        fnv.eat(self.input.name.as_bytes());
+        fnv.eat(&self.input.seed.to_le_bytes());
+        fnv.eat(&(self.input.scale as u64).to_le_bytes());
+        fnv.eat(&self.budget.to_le_bytes());
+        fnv.eat(&tlat_workloads::CODEGEN_VERSION.to_le_bytes());
+        fnv.finish()
     }
 
     /// The cache file name for this key: human-skimmable prefix plus
@@ -80,16 +99,54 @@ impl TraceKey<'_> {
     }
 }
 
+/// Incremental FNV-1a with field separators, shared by the trace-cache
+/// and sweep-journal fingerprints so concatenated fields cannot
+/// collide.
+#[derive(Debug)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Hashes one field and a separator.
+    pub(crate) fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        // Field separator so concatenations cannot collide.
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 /// A directory of codec-serialized traces.
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     root: PathBuf,
+    faults: Arc<Faults>,
+    /// Consecutive store failures (shared across clones so the
+    /// shut-off is process-wide per cache).
+    strikes: Arc<AtomicU32>,
 }
 
 impl DiskCache {
     /// A cache rooted at `root` (created lazily on first store).
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        DiskCache { root: root.into() }
+        DiskCache {
+            root: root.into(),
+            faults: Faults::none(),
+            strikes: Arc::new(AtomicU32::new(0)),
+        }
     }
 
     /// The environment-configured cache: `TLAT_TRACE_CACHE` names the
@@ -103,6 +160,13 @@ impl DiskCache {
         }
     }
 
+    /// Attaches a fault-injection plan (see [`crate::faults`]). The
+    /// default plan injects nothing.
+    pub fn with_faults(mut self, faults: Arc<Faults>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The cache directory.
     pub fn root(&self) -> &Path {
         &self.root
@@ -113,40 +177,128 @@ impl DiskCache {
         self.root.join(key.file_name())
     }
 
+    /// Reads and decodes the entry at `path` once, without recovery.
+    /// This is the typed primitive [`load`](Self::load) builds its
+    /// retry/evict policy on.
+    fn try_read(&self, path: &Path) -> Result<Trace, SimError> {
+        match codec::read_file(path) {
+            Ok(trace) => Ok(trace),
+            Err(codec::FileError::Io(e)) => Err(SimError::Io {
+                context: format!("reading trace cache entry {}", path.display()),
+                source: e,
+            }),
+            Err(codec::FileError::Decode(e)) => Err(SimError::Corrupt {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
     /// Loads the cached trace for `key`, or `None` on a cold miss.
     ///
-    /// A present-but-invalid file (corrupt, truncated, wrong magic) is
-    /// reported on stderr, deleted, and treated as a miss so the caller
-    /// regenerates it.
+    /// Recovery policy (see the module docs): transient read errors
+    /// are retried with bounded backoff; a present-but-invalid file
+    /// (corrupt, truncated, wrong magic) is reported on stderr,
+    /// evicted, and treated as a miss so the caller regenerates it.
     pub fn load(&self, key: &TraceKey<'_>) -> Option<Trace> {
         let path = self.path_for(key);
-        match codec::read_file(&path) {
-            Ok(trace) => Some(trace),
-            Err(codec::FileError::Io(_)) => None,
-            Err(codec::FileError::Decode(e)) => {
-                eprintln!(
-                    "warning: trace cache entry {} is invalid ({e}); regenerating",
-                    path.display()
-                );
-                let _ = std::fs::remove_file(&path);
-                None
+        let injected = self.faults.on_cache_load();
+        if injected == Some(CacheFault::Corrupt) {
+            truncate_in_place(&path);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let result = if injected == Some(CacheFault::Transient) && attempt == 0 {
+                Err(SimError::Io {
+                    context: format!("reading trace cache entry {}", path.display()),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "injected transient I/O error (TLAT_FAULTS)",
+                    ),
+                })
+            } else {
+                self.try_read(&path)
+            };
+            match result {
+                Ok(trace) => return Some(trace),
+                Err(SimError::Io { source, .. })
+                    if source.kind() == std::io::ErrorKind::NotFound =>
+                {
+                    return None; // cold miss: the common, silent case
+                }
+                Err(e @ SimError::Io { .. }) if attempt < READ_RETRIES => {
+                    attempt += 1;
+                    eprintln!("warning: {e}; retry {attempt}/{READ_RETRIES}");
+                    // Bounded backoff: 1, 4, 9 ms — long enough to let
+                    // an interrupted write settle, short enough to be
+                    // invisible next to trace generation.
+                    std::thread::sleep(std::time::Duration::from_millis(u64::from(
+                        attempt * attempt,
+                    )));
+                }
+                Err(e @ SimError::Io { .. }) => {
+                    eprintln!("warning: {e}; giving up on the cache entry and regenerating");
+                    return None;
+                }
+                Err(e) => {
+                    // Corrupt entry: evict (best-effort, no retry — a
+                    // directory that refuses the unlink will refuse it
+                    // next time too) and regenerate.
+                    eprintln!("warning: {e}; evicting and regenerating");
+                    if let Err(unlink) = std::fs::remove_file(&path) {
+                        if unlink.kind() != std::io::ErrorKind::NotFound {
+                            eprintln!(
+                                "warning: cannot evict corrupt cache entry {}: {unlink}",
+                                path.display()
+                            );
+                        }
+                    }
+                    return None;
+                }
             }
         }
     }
 
     /// Stores `trace` under `key`. Best-effort: an I/O failure is
     /// reported on stderr and otherwise ignored (the cache is an
-    /// optimization, never a correctness dependency).
+    /// optimization, never a correctness dependency). After
+    /// [`STORE_STRIKES`] consecutive failures the cache stops
+    /// attempting writes for this process.
     pub fn store(&self, key: &TraceKey<'_>, trace: &Trace) {
+        if self.strikes.load(Ordering::Relaxed) >= STORE_STRIKES {
+            return; // cache writing already shut off for this process
+        }
         let path = self.path_for(key);
         let write = std::fs::create_dir_all(&self.root)
             .and_then(|()| codec::write_file_atomic(&path, trace));
-        if let Err(e) = write {
-            eprintln!(
-                "warning: cannot persist trace cache entry {}: {e}",
-                path.display()
-            );
+        match write {
+            Ok(()) => {
+                self.strikes.store(0, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let strikes = self.strikes.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "warning: cannot persist trace cache entry {}: {e}",
+                    path.display()
+                );
+                if strikes >= STORE_STRIKES {
+                    eprintln!(
+                        "warning: {strikes} consecutive trace-cache write failures; \
+                         disabling cache writes for this process"
+                    );
+                }
+            }
         }
+    }
+}
+
+/// Truncates the file at `path` to a third of its length (matching the
+/// corruption the integration tests apply by hand). Missing files are
+/// left missing — the injected fault then falls through to a plain
+/// cold miss.
+fn truncate_in_place(path: &Path) {
+    if let Ok(bytes) = std::fs::read(path) {
+        let _ = std::fs::write(path, &bytes[..bytes.len() / 3]);
     }
 }
 
@@ -200,6 +352,39 @@ mod tests {
     }
 
     #[test]
+    fn injected_corruption_is_recovered() {
+        let dir = scratch_dir("inject-corrupt");
+        let input = DataSet::new("unit", 3, 2);
+        let trace = SyntheticStream::mixed(0xf00, 8).generate(300);
+        let k = key(&input, 300);
+        DiskCache::new(&dir).store(&k, &trace);
+        // Load 0 of this plan truncates the file in place.
+        let faulty = DiskCache::new(&dir)
+            .with_faults(Arc::new(Faults::parse("corrupt@0:1").unwrap()));
+        assert!(faulty.load(&k).is_none(), "injected corruption must miss");
+        assert!(!faulty.path_for(&k).exists(), "and must be evicted");
+        // Regeneration (store + load) then round-trips cleanly.
+        faulty.store(&k, &trace);
+        assert_eq!(faulty.load(&k).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_transient_io_error_is_retried() {
+        let dir = scratch_dir("inject-io");
+        let input = DataSet::new("unit", 5, 2);
+        let trace = SyntheticStream::mixed(0xbee, 8).generate(250);
+        let k = key(&input, 250);
+        DiskCache::new(&dir).store(&k, &trace);
+        let faulty =
+            DiskCache::new(&dir).with_faults(Arc::new(Faults::parse("io@0:1").unwrap()));
+        // The first attempt fails transiently; the bounded retry must
+        // still serve the entry without regeneration.
+        assert_eq!(faulty.load(&k).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn fingerprint_separates_every_field() {
         let a = DataSet::new("a", 1, 2);
         let base = key(&a, 100).fingerprint();
@@ -216,7 +401,7 @@ mod tests {
     }
 
     #[test]
-    fn store_failure_is_non_fatal() {
+    fn store_failure_is_non_fatal_and_strikes_out() {
         // Root is a *file*, so create_dir_all must fail.
         let dir = scratch_dir("nonfatal");
         std::fs::create_dir_all(&dir).unwrap();
@@ -225,8 +410,14 @@ mod tests {
         let cache = DiskCache::new(&blocked);
         let input = DataSet::new("unit", 1, 1);
         let trace = SyntheticStream::mixed(1, 4).generate(50);
-        cache.store(&key(&input, 50), &trace); // must not panic
+        for _ in 0..(STORE_STRIKES + 2) {
+            cache.store(&key(&input, 50), &trace); // must not panic
+        }
         assert!(cache.load(&key(&input, 50)).is_none());
+        assert!(
+            cache.strikes.load(Ordering::Relaxed) >= STORE_STRIKES,
+            "persistent write failure must strike the cache out"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

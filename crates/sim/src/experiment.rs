@@ -1,13 +1,25 @@
 //! The experiment harness: one function per table/figure of the paper.
+//!
+//! Sweeps run fault-tolerantly: each (configuration, workload) cell is
+//! isolated — a panicking or erroring cell renders as a failed cell
+//! (`✗`) while the rest of the sweep completes — and, with resume
+//! enabled (`--resume` / `TLAT_RESUME`), completed cells are journaled
+//! crash-safely so a killed sweep restarts only its missing cells. See
+//! DESIGN.md's "Failure model & recovery".
 
 use crate::config::{SchemeConfig, TrainingData};
 use crate::engine::simulate;
-use crate::gang::{gang_simulate, GangLane};
+use crate::error::lock_unpoisoned;
+use crate::faults::Faults;
+use crate::gang::{gang_simulate_isolated, GangLane};
+use crate::journal::{self, SweepJournal};
 use crate::metrics::SimResult;
 use crate::pool;
-use crate::report::Report;
+use crate::report::{Cell, Report};
 use crate::traces::TraceStore;
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tlat_core::{
     AutomatonKind, HrtConfig, ProfilePredictor, StaticTraining, StaticTrainingConfig,
@@ -40,28 +52,84 @@ pub struct Harness {
     store: TraceStore,
     workloads: Vec<Workload>,
     trained: Mutex<TrainedCache>,
+    /// Fault-injection plan for the sweep-cell site (the disk-cache
+    /// sites live inside the store). Inert by default.
+    faults: Arc<Faults>,
+    /// Root for sweep checkpoint journals; `None` = resume disabled.
+    resume_root: Option<PathBuf>,
+    /// Gang walks actually executed (a fully replayed workload does
+    /// not count). Lets tests assert resume skips completed work.
+    walks: AtomicU64,
 }
 
 impl Harness {
     /// Creates a harness over the nine-benchmark suite with a given
     /// conditional-branch budget per trace.
     pub fn new(budget: u64) -> Self {
+        Harness::over(TraceStore::new(budget))
+    }
+
+    /// Creates a harness over an explicit [`TraceStore`] (tests use
+    /// this to attach scratch disk caches and fault plans).
+    pub fn over(store: TraceStore) -> Self {
         Harness {
-            store: TraceStore::new(budget),
+            store,
             workloads: tlat_workloads::all(),
             trained: Mutex::new(TrainedCache::default()),
+            faults: Faults::none(),
+            resume_root: None,
+            walks: AtomicU64::new(0),
         }
     }
 
     /// Creates a harness with the `TLAT_BRANCH_LIMIT`-configured
-    /// budget and the `TLAT_TRACE_CACHE`-configured persistent trace
-    /// cache (on by default at `target/tlat-cache/`).
+    /// budget, the `TLAT_TRACE_CACHE`-configured persistent trace
+    /// cache (on by default at `target/tlat-cache/`), the
+    /// `TLAT_FAULTS`-configured fault-injection plan (off by default),
+    /// and `TLAT_RESUME`-configured sweep checkpoint/resume (off by
+    /// default, journaled under the trace-cache directory).
     pub fn from_env() -> Self {
-        Harness {
-            store: TraceStore::from_env(),
-            workloads: tlat_workloads::all(),
-            trained: Mutex::new(TrainedCache::default()),
+        let harness = Harness::over(TraceStore::from_env()).with_faults(Faults::from_env());
+        if !journal::resume_from_env() {
+            return harness;
         }
+        match harness.store.disk_cache() {
+            Some(cache) => {
+                let root = cache.root().join("sweeps");
+                harness.with_resume_root(root)
+            }
+            None => {
+                eprintln!(
+                    "warning: {} is set but the trace cache is disabled; \
+                     sweep checkpoint/resume needs a cache directory and stays off",
+                    journal::RESUME_ENV
+                );
+                harness
+            }
+        }
+    }
+
+    /// Attaches a fault-injection plan (sweep-cell and disk-cache
+    /// sites). See [`crate::faults`].
+    pub fn with_faults(mut self, faults: Arc<Faults>) -> Self {
+        self.faults = Arc::clone(&faults);
+        // The store is rebuilt in place so its disk cache shares the
+        // plan.
+        let store = std::mem::replace(&mut self.store, TraceStore::new(0));
+        self.store = store.with_faults(faults);
+        self
+    }
+
+    /// Enables sweep checkpoint/resume, journaling under `root`.
+    pub fn with_resume_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.resume_root = Some(root.into());
+        self
+    }
+
+    /// Number of gang walks this harness has actually executed (fully
+    /// journal-replayed workloads are skipped and do not count).
+    pub fn gang_walks(&self) -> u64 {
+        self.walks.load(Ordering::Relaxed)
     }
 
     /// The benchmark suite.
@@ -123,46 +191,129 @@ impl Harness {
     /// [`accuracy_table`](Self::accuracy_table) with a caller-chosen
     /// worker count (1 = gang engine without the pool; the throughput
     /// bench uses this to separate the two wins).
+    ///
+    /// Resilience: each per-workload walk runs panic-isolated on the
+    /// pool, each lane is isolated within its walk (see
+    /// [`gang_simulate_isolated`]), failed cells render as `✗` with
+    /// the failure message footnoted, and — when resume is enabled —
+    /// completed cells are journaled crash-safely and replayed instead
+    /// of recomputed.
     pub fn accuracy_table_on(&self, title: &str, configs: &[SchemeConfig], threads: usize) -> Report {
-        self.prewarm();
-        // One gang walk per workload; cell (ci, wi) is lane ci of walk wi.
-        let per_workload: Vec<Vec<Option<f64>>> =
-            pool::run_indexed(self.workloads.len(), threads, |wi| {
-                self.gang_workload(configs, &self.workloads[wi])
-            });
-        let mut results: HashMap<(usize, usize), Option<f64>> = HashMap::new();
-        for (wi, accuracies) in per_workload.iter().enumerate() {
-            for (ci, accuracy) in accuracies.iter().enumerate() {
-                results.insert((ci, wi), *accuracy);
+        let journal = self.journal_for(title, configs);
+        let replayed: HashMap<(usize, usize), Cell> =
+            journal.as_ref().map(SweepJournal::load).unwrap_or_default();
+        let n_configs = configs.len();
+        // One gang walk per workload; cell (ci, wi) is lane ci of walk
+        // wi. Traces are generated inside each walk task (still in
+        // parallel across workloads), so fully replayed workloads do no
+        // work at all.
+        let per_workload = pool::run_isolated(self.workloads.len(), threads, |wi| {
+            let missing: Vec<usize> = (0..n_configs)
+                .filter(|ci| !replayed.contains_key(&(*ci, wi)))
+                .collect();
+            if missing.is_empty() {
+                return Vec::new();
+            }
+            self.walks.fetch_add(1, Ordering::Relaxed);
+            let computed = self.gang_workload(configs, &missing, wi);
+            if let Some(j) = &journal {
+                for (ci, cell) in &computed {
+                    j.record(*ci, wi, cell);
+                }
+            }
+            computed
+        });
+        let mut results = replayed;
+        for (wi, outcome) in per_workload.into_iter().enumerate() {
+            match outcome {
+                Ok(cells) => {
+                    for (ci, cell) in cells {
+                        results.insert((ci, wi), cell);
+                    }
+                }
+                // The whole walk task escaped its inner isolation (a
+                // harness bug rather than a lane bug): every cell that
+                // was not replayed fails with the panic message.
+                Err(panic) => {
+                    for ci in 0..n_configs {
+                        results
+                            .entry((ci, wi))
+                            .or_insert_with(|| Cell::Failed(panic.message.clone()));
+                    }
+                }
             }
         }
         self.render_accuracy(title, configs, &results)
     }
 
-    /// Simulates every configuration over one workload in a single
-    /// trace walk. Cells are `None` exactly where
-    /// [`run_one`](Self::run_one) returns `None` (Diff training with no
-    /// training set).
-    fn gang_workload(&self, configs: &[SchemeConfig], workload: &Workload) -> Vec<Option<f64>> {
-        let test = self.store.test(workload);
-        let mut lanes: Vec<GangLane> = Vec::with_capacity(configs.len());
-        // accuracies[ci] stays None for excluded cells; lane results are
-        // written back through lane_of.
-        let mut accuracies: Vec<Option<f64>> = vec![None; configs.len()];
-        let mut lane_of: Vec<usize> = Vec::with_capacity(configs.len());
-        for (ci, config) in configs.iter().enumerate() {
-            match self.build_lane(config, workload, &test) {
-                Some(lane) => {
-                    lanes.push(lane);
-                    lane_of.push(ci);
-                }
-                None => continue, // the paper's Table 3 exclusions
+    /// Simulates the `missing` configurations over one workload in a
+    /// single panic-isolated trace walk. Returns `(config index,
+    /// cell)` pairs; cells are [`Cell::Blank`] exactly where
+    /// [`run_one`](Self::run_one) returns `None` (Diff training with
+    /// no training set) and [`Cell::Failed`] where the lane's build or
+    /// simulation panicked or errored.
+    fn gang_workload(
+        &self,
+        configs: &[SchemeConfig],
+        missing: &[usize],
+        wi: usize,
+    ) -> Vec<(usize, Cell)> {
+        let workload = &self.workloads[wi];
+        let test = match self.store.try_test(workload) {
+            Ok(test) => test,
+            // The whole column shares one failure cause (e.g. the
+            // workload faulted or its trace cannot be generated).
+            Err(e) => {
+                let message = e.to_string();
+                eprintln!("warning: {message}; failing {}'s cells", workload.name);
+                return missing
+                    .iter()
+                    .map(|&ci| (ci, Cell::Failed(message.clone())))
+                    .collect();
             }
-        }
-        for (li, result) in gang_simulate(&mut lanes, &test).iter().enumerate() {
-            accuracies[lane_of[li]] = Some(result.accuracy());
-        }
-        accuracies
+        };
+        let outcomes = gang_simulate_isolated(
+            missing.len(),
+            |mi| {
+                let ci = missing[mi];
+                // Stable cell id for deterministic fault injection:
+                // independent of scheduling AND of which cells a resume
+                // still has to compute.
+                let cell = (wi * configs.len() + ci) as u64;
+                self.faults.maybe_panic_cell(
+                    cell,
+                    &format!("{}/{}", configs[ci].label(), workload.name),
+                );
+                self.build_lane(&configs[ci], workload, &test)
+            },
+            &test,
+        );
+        missing
+            .iter()
+            .zip(outcomes)
+            .map(|(&ci, outcome)| {
+                let cell = match outcome {
+                    Some(Ok(result)) => Cell::Value(result.accuracy()),
+                    Some(Err(panic)) => Cell::Failed(panic.message),
+                    None => Cell::Blank, // the paper's Table 3 exclusions
+                };
+                (ci, cell)
+            })
+            .collect()
+    }
+
+    /// The checkpoint journal for a sweep, when resume is enabled.
+    fn journal_for(&self, title: &str, configs: &[SchemeConfig]) -> Option<SweepJournal> {
+        let root = self.resume_root.as_ref()?;
+        let labels: Vec<String> = configs.iter().map(SchemeConfig::label).collect();
+        let names: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        Some(SweepJournal::open(
+            root,
+            title,
+            &labels,
+            &names,
+            self.store.budget(),
+        ))
     }
 
     /// Builds one gang lane, routing the trained schemes through the
@@ -213,7 +364,7 @@ impl Harness {
         test: &Arc<Trace>,
     ) -> Option<Arc<TrainingProfile>> {
         let key = (workload.name.to_owned(), diff, history_bits);
-        if let Some(p) = self.trained.lock().unwrap().profiles.get(&key) {
+        if let Some(p) = lock_unpoisoned(&self.trained).profiles.get(&key) {
             return Some(Arc::clone(p));
         }
         let trace: Arc<Trace> = if diff {
@@ -225,18 +376,18 @@ impl Harness {
         // serialize; a racing duplicate computes the same pure function
         // and the entry API keeps the first insertion.
         let profile = Arc::new(TrainingProfile::collect(&trace, history_bits));
-        let mut cache = self.trained.lock().unwrap();
+        let mut cache = lock_unpoisoned(&self.trained);
         Some(Arc::clone(cache.profiles.entry(key).or_insert(profile)))
     }
 
     /// The memoized profiling predictor for a workload (trained on its
     /// test trace, as in the paper).
     fn profiler(&self, workload: &Workload, test: &Arc<Trace>) -> Arc<ProfilePredictor> {
-        if let Some(p) = self.trained.lock().unwrap().profilers.get(workload.name) {
+        if let Some(p) = lock_unpoisoned(&self.trained).profilers.get(workload.name) {
             return Arc::clone(p);
         }
         let trained = Arc::new(ProfilePredictor::train(test));
-        let mut cache = self.trained.lock().unwrap();
+        let mut cache = lock_unpoisoned(&self.trained);
         Arc::clone(
             cache
                 .profilers
@@ -252,29 +403,29 @@ impl Harness {
     /// change nothing observable, and as the throughput bench's
     /// per-config baseline.
     pub fn accuracy_table_sequential(&self, title: &str, configs: &[SchemeConfig]) -> Report {
-        let mut results: HashMap<(usize, usize), Option<f64>> = HashMap::new();
+        let mut results: HashMap<(usize, usize), Cell> = HashMap::new();
         for (ci, config) in configs.iter().enumerate() {
             for (wi, workload) in self.workloads.iter().enumerate() {
                 let accuracy = self.run_one(config, workload).map(|r| r.accuracy());
-                results.insert((ci, wi), accuracy);
+                results.insert((ci, wi), Cell::from(accuracy));
             }
         }
         self.render_accuracy(title, configs, &results)
     }
 
-    /// Renders per-cell accuracies (keyed by config and workload index)
+    /// Renders per-cell outcomes (keyed by config and workload index)
     /// into the paper-style table, appending the three geometric-mean
     /// columns.
     fn render_accuracy(
         &self,
         title: &str,
         configs: &[SchemeConfig],
-        results: &HashMap<(usize, usize), Option<f64>>,
+        results: &HashMap<(usize, usize), Cell>,
     ) -> Report {
         let mut report = Report::new(title, self.accuracy_columns());
         for (ci, config) in configs.iter().enumerate() {
-            let mut values: Vec<Option<f64>> = (0..self.workloads.len())
-                .map(|wi| results[&(ci, wi)])
+            let mut values: Vec<Cell> = (0..self.workloads.len())
+                .map(|wi| results.get(&(ci, wi)).cloned().unwrap_or(Cell::Blank))
                 .collect();
             let mean_over = |kind: Option<WorkloadKind>| -> Option<f64> {
                 let selected: Vec<f64> = self
@@ -282,20 +433,20 @@ impl Harness {
                     .iter()
                     .zip(&values)
                     .filter(|(w, _)| kind.is_none_or(|k| w.kind == k))
-                    .map(|(_, v)| *v)
+                    .map(|(_, v)| v.value())
                     .collect::<Option<Vec<f64>>>()?;
                 geometric_mean(&selected)
             };
             // The paper does not graph averages for schemes with
-            // incomplete data (Diff training): a missing benchmark
-            // yields a missing mean.
+            // incomplete data (Diff training): a missing — or failed —
+            // benchmark yields a missing mean.
             let int_mean = mean_over(Some(WorkloadKind::Integer));
             let fp_mean = mean_over(Some(WorkloadKind::FloatingPoint));
             let tot_mean = mean_over(None);
-            values.push(int_mean);
-            values.push(fp_mean);
-            values.push(tot_mean);
-            report.push_row(config.label(), values);
+            values.push(Cell::from(int_mean));
+            values.push(Cell::from(fp_mean));
+            values.push(Cell::from(tot_mean));
+            report.push_cells(config.label(), values);
         }
         report
     }
@@ -626,7 +777,7 @@ mod tests {
         assert_eq!(report.rows.len(), 2);
         assert_eq!(report.columns.len(), 12); // 9 benchmarks + 3 means
         for row in &report.rows {
-            assert!(row.values.iter().all(|v| v.is_some()));
+            assert!(row.values.iter().all(|v| v.value().is_some()));
         }
     }
 

@@ -25,6 +25,7 @@
 use crate::config::SchemeConfig;
 use crate::engine::SimOptions;
 use crate::metrics::{PredictionStats, SimResult};
+use crate::pool::{catch_cell, CellPanic};
 use tlat_core::{LeeSmithBtb, Predictor, TwoLevelAdaptive};
 use tlat_trace::{BranchClass, BranchRecord, ReturnAddressStack, Trace};
 
@@ -129,6 +130,80 @@ pub fn gang_simulate_with(
         .collect()
 }
 
+/// The outcome of one lane of an isolated gang walk.
+///
+/// `None` = the lane was not applicable (the builder returned `None`,
+/// e.g. Diff training without a training set); `Some(Ok)` = simulated;
+/// `Some(Err)` = the lane's build or simulation panicked and the panic
+/// was contained.
+pub type IsolatedLane = Option<Result<SimResult, CellPanic>>;
+
+/// [`gang_simulate`] with per-lane panic isolation.
+///
+/// `build(i)` constructs lane `i` (or `None` when the configuration is
+/// not applicable to this trace — the paper's Table 3 exclusions); it
+/// must be pure, because it is called again if the walk has to be
+/// retried. The fast path is one shared walk, exactly as
+/// [`gang_simulate`]. If any lane panics — during build or mid-walk —
+/// the panic is caught and only the offending lane fails:
+///
+/// * a panic at *build* time fails that lane alone; the others proceed
+///   with the shared walk;
+/// * a panic *mid-walk* poisons the shared pass (lanes are part-way
+///   through the trace), so every built lane is re-run solo under its
+///   own `catch_unwind` — predictors are deterministic, so surviving
+///   lanes reproduce their shared-walk results bit-for-bit (the
+///   identity `gang == solo` is pinned by tests), and the panicking
+///   lane fails again, deterministically, in isolation.
+pub fn gang_simulate_isolated<F>(n_lanes: usize, build: F, trace: &Trace) -> Vec<IsolatedLane>
+where
+    F: Fn(usize) -> Option<GangLane>,
+{
+    let mut outcomes: Vec<IsolatedLane> = Vec::with_capacity(n_lanes);
+    let mut lanes: Vec<GangLane> = Vec::new();
+    let mut lane_of: Vec<usize> = Vec::new();
+    for i in 0..n_lanes {
+        match catch_cell(|| build(i)) {
+            Ok(Some(lane)) => {
+                lanes.push(lane);
+                lane_of.push(i);
+                outcomes.push(None); // filled in below
+            }
+            Ok(None) => outcomes.push(None),
+            Err(panic) => outcomes.push(Some(Err(panic))),
+        }
+    }
+    match catch_cell(|| gang_simulate(&mut lanes, trace)) {
+        Ok(results) => {
+            for (li, result) in results.into_iter().enumerate() {
+                outcomes[lane_of[li]] = Some(Ok(result));
+            }
+        }
+        Err(walk_panic) => {
+            eprintln!(
+                "warning: gang walk panicked ({}); re-running {} lane(s) in isolation",
+                walk_panic.message,
+                lane_of.len()
+            );
+            for &i in &lane_of {
+                outcomes[i] = match catch_cell(|| {
+                    build(i).map(|lane| {
+                        let mut solo = [lane];
+                        gang_simulate(&mut solo, trace)
+                            .pop()
+                            .expect("one lane in, one result out")
+                    })
+                }) {
+                    Ok(Some(result)) => Some(Ok(result)),
+                    Ok(None) => None,
+                    Err(panic) => Some(Err(panic)),
+                };
+            }
+        }
+    }
+    outcomes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +263,110 @@ mod tests {
     fn empty_gang_walks_without_results() {
         let trace = SyntheticStream::mixed(1, 4).generate(100);
         assert!(gang_simulate(&mut [], &trace).is_empty());
+    }
+
+    /// A predictor that panics after `fuse` conditional branches —
+    /// stands in for a lane with a latent bug.
+    struct ShortFuse {
+        fuse: usize,
+        seen: usize,
+    }
+
+    impl Predictor for ShortFuse {
+        fn name(&self) -> String {
+            "ShortFuse".to_owned()
+        }
+        fn predict(&mut self, _branch: &BranchRecord) -> bool {
+            self.seen += 1;
+            assert!(self.seen <= self.fuse, "short fuse blew at {}", self.seen);
+            true
+        }
+        fn update(&mut self, _branch: &BranchRecord) {}
+    }
+
+    fn solo_reference(config: &SchemeConfig, trace: &Trace) -> SimResult {
+        let mut lanes = [GangLane::from_config(config, Some(trace))];
+        gang_simulate(&mut lanes, trace).pop().unwrap()
+    }
+
+    #[test]
+    fn isolated_walk_contains_a_build_panic() {
+        let trace = SyntheticStream::mixed(0xabc, 32).generate(2_000);
+        let configs = sweep();
+        let outcomes = gang_simulate_isolated(
+            configs.len(),
+            |i| {
+                if i == 1 {
+                    panic!("injected build failure");
+                }
+                Some(GangLane::from_config(&configs[i], Some(&trace)))
+            },
+            &trace,
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 1 {
+                let err = outcome.as_ref().unwrap().as_ref().unwrap_err();
+                assert!(err.message.contains("injected build failure"));
+            } else {
+                let got = outcome.as_ref().unwrap().as_ref().unwrap();
+                assert_eq!(
+                    got.conditional,
+                    solo_reference(&configs[i], &trace).conditional,
+                    "surviving lane {i} must match its solo run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_walk_recovers_from_a_mid_walk_panic() {
+        let trace = SyntheticStream::mixed(0xdef, 32).generate(2_000);
+        let configs = sweep();
+        // Lane 2 blows up after 100 branches *inside the shared walk*;
+        // the fallback re-runs every lane solo.
+        let outcomes = gang_simulate_isolated(
+            configs.len(),
+            |i| {
+                if i == 2 {
+                    Some(GangLane::Dyn(Box::new(ShortFuse { fuse: 100, seen: 0 })))
+                } else {
+                    Some(GangLane::from_config(&configs[i], Some(&trace)))
+                }
+            },
+            &trace,
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                let err = outcome.as_ref().unwrap().as_ref().unwrap_err();
+                assert!(err.message.contains("short fuse"), "{}", err.message);
+            } else {
+                let got = outcome.as_ref().unwrap().as_ref().unwrap();
+                assert_eq!(
+                    got.conditional,
+                    solo_reference(&configs[i], &trace).conditional,
+                    "lane {i} must survive a neighbour's mid-walk panic bit-for-bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_walk_keeps_not_applicable_lanes_blank() {
+        let trace = SyntheticStream::mixed(0x11, 8).generate(500);
+        let configs = sweep();
+        let outcomes = gang_simulate_isolated(
+            3,
+            |i| {
+                if i == 1 {
+                    None // e.g. Diff training without a training set
+                } else {
+                    Some(GangLane::from_config(&configs[i], Some(&trace)))
+                }
+            },
+            &trace,
+        );
+        assert!(outcomes[0].as_ref().unwrap().is_ok());
+        assert!(outcomes[1].is_none());
+        assert!(outcomes[2].as_ref().unwrap().is_ok());
     }
 }

@@ -1,0 +1,270 @@
+//! Crash-safe sweep checkpoint/resume.
+//!
+//! A paper-scale sweep (many configurations × nine workloads, long
+//! trace budgets) used to be all-or-nothing: killing the process lost
+//! every completed cell. The sweep journal checkpoints each completed
+//! cell to its own tiny file — written atomically (tmp + rename +
+//! fsync, like the trace cache) so a crash can never tear a record —
+//! and a later run of the *same* sweep replays the journal and
+//! recomputes only the missing cells.
+//!
+//! The journal directory is fingerprint-keyed over everything that
+//! determines a cell's value: the sweep title, every configuration
+//! label, every workload name, the branch budget, and
+//! [`tlat_workloads::CODEGEN_VERSION`]. Any change lands in a fresh
+//! directory, so a resumed sweep can never mix results from a
+//! different experiment — stale journals are orphaned, never read.
+//!
+//! Values are journaled as exact IEEE-754 bit patterns, so a resumed
+//! report is byte-identical to the uninterrupted one. Failed cells are
+//! deliberately *not* journaled: resuming retries them.
+//!
+//! Resume is off by default; the CLI's `--resume` flag (or
+//! `TLAT_RESUME=1`) turns it on, rooted under the trace-cache
+//! directory.
+
+use crate::diskcache::Fnv;
+use crate::error::SimError;
+use crate::report::Cell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Environment variable enabling sweep checkpoint/resume (`1`/`on`;
+/// unset, empty, `0`, or `off` disables).
+pub const RESUME_ENV: &str = "TLAT_RESUME";
+
+/// Whether `TLAT_RESUME` asks for checkpoint/resume.
+pub fn resume_from_env() -> bool {
+    match std::env::var(RESUME_ENV) {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "off"),
+        Err(_) => false,
+    }
+}
+
+/// A directory of per-cell checkpoint records for one specific sweep.
+#[derive(Debug, Clone)]
+pub struct SweepJournal {
+    dir: PathBuf,
+}
+
+impl SweepJournal {
+    /// Opens (without yet creating) the journal for a sweep identified
+    /// by its title, configuration labels, workload names, and branch
+    /// budget, rooted under `root` (typically
+    /// `<trace-cache>/sweeps/`).
+    pub fn open(
+        root: impl Into<PathBuf>,
+        title: &str,
+        config_labels: &[String],
+        workloads: &[&str],
+        budget: u64,
+    ) -> Self {
+        let mut fnv = Fnv::new();
+        fnv.eat(title.as_bytes());
+        for label in config_labels {
+            fnv.eat(label.as_bytes());
+        }
+        for w in workloads {
+            fnv.eat(w.as_bytes());
+        }
+        fnv.eat(&budget.to_le_bytes());
+        fnv.eat(&tlat_workloads::CODEGEN_VERSION.to_le_bytes());
+        SweepJournal {
+            dir: root.into().join(format!("sweep-{:016x}", fnv.finish())),
+        }
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, ci: usize, wi: usize) -> PathBuf {
+        self.dir.join(format!("c{ci}-w{wi}.cell"))
+    }
+
+    /// Replays every journaled cell: `(config index, workload index) →
+    /// cell`. A missing journal directory is an empty journal; an
+    /// unreadable or corrupt record is warned about and skipped (the
+    /// cell is simply recomputed).
+    pub fn load(&self) -> HashMap<(usize, usize), Cell> {
+        let mut cells = HashMap::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(_) => return cells, // no journal yet: nothing to replay
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let Some(key) = parse_cell_name(&name.to_string_lossy()) else {
+                continue; // foreign file (e.g. a leftover .tmp)
+            };
+            match std::fs::read_to_string(&path).map_err(|e| {
+                SimError::io(format!("reading journal cell {}", path.display()), e)
+            }) {
+                Ok(body) => match parse_cell_body(body.trim()) {
+                    Some(cell) => {
+                        cells.insert(key, cell);
+                    }
+                    None => eprintln!(
+                        "warning: corrupt journal cell {}; recomputing it",
+                        path.display()
+                    ),
+                },
+                Err(e) => eprintln!("warning: {e}; recomputing the cell"),
+            }
+        }
+        cells
+    }
+
+    /// Journals one completed cell, atomically and durably. Failed
+    /// cells are skipped (resume retries them). Best-effort: an
+    /// unwritable journal degrades to no checkpointing, with a warning
+    /// — it never fails the sweep.
+    pub fn record(&self, ci: usize, wi: usize, cell: &Cell) {
+        let body = match cell {
+            Cell::Value(v) => format!("v {:016x}\n", v.to_bits()),
+            Cell::Blank => "na\n".to_owned(),
+            Cell::Failed(_) => return,
+        };
+        if let Err(e) = self.write_atomic(&self.cell_path(ci, wi), body.as_bytes()) {
+            eprintln!("warning: {e}; sweep will not be resumable from this cell");
+        }
+    }
+
+    /// tmp + rename + fsync, mirroring the trace cache's durability
+    /// discipline.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), SimError> {
+        let context = || format!("writing journal cell {}", path.display());
+        std::fs::create_dir_all(&self.dir).map_err(|e| SimError::io(context(), e))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write()
+            .inspect_err(|_| {
+                let _ = std::fs::remove_file(&tmp);
+            })
+            .map_err(|e| SimError::io(context(), e))?;
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+}
+
+fn parse_cell_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix('c')?.strip_suffix(".cell")?;
+    let (ci, wi) = rest.split_once("-w")?;
+    Some((ci.parse().ok()?, wi.parse().ok()?))
+}
+
+fn parse_cell_body(body: &str) -> Option<Cell> {
+    if body == "na" {
+        return Some(Cell::Blank);
+    }
+    let bits = body.strip_prefix("v ")?;
+    Some(Cell::Value(f64::from_bits(
+        u64::from_str_radix(bits, 16).ok()?,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlat-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journal(root: &Path) -> SweepJournal {
+        SweepJournal::open(
+            root,
+            "fig10",
+            &["AT".to_owned(), "ST".to_owned()],
+            &["gcc", "li"],
+            10_000,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_bits_and_blanks() {
+        let root = scratch_dir("roundtrip");
+        let j = journal(&root);
+        assert!(j.load().is_empty(), "fresh journal must be empty");
+        // A value chosen so decimal formatting would lose bits.
+        let v = 0.123_456_789_012_345_67_f64 + f64::EPSILON;
+        j.record(0, 1, &Cell::Value(v));
+        j.record(1, 0, &Cell::Blank);
+        j.record(1, 1, &Cell::Failed("boom".to_owned())); // must be skipped
+        let cells = j.load();
+        assert_eq!(cells.len(), 2);
+        match cells[&(0, 1)] {
+            Cell::Value(got) => assert_eq!(got.to_bits(), v.to_bits(), "bit-exact replay"),
+            ref other => panic!("expected value, got {other:?}"),
+        }
+        assert_eq!(cells[&(1, 0)], Cell::Blank);
+        assert!(!cells.contains_key(&(1, 1)), "failed cells are not journaled");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fingerprint_separates_sweeps() {
+        let root = scratch_dir("fp");
+        let a = journal(&root);
+        let other_title =
+            SweepJournal::open(&root, "fig9", &["AT".to_owned()], &["gcc"], 10_000);
+        let other_budget = SweepJournal::open(
+            &root,
+            "fig10",
+            &["AT".to_owned(), "ST".to_owned()],
+            &["gcc", "li"],
+            20_000,
+        );
+        assert_ne!(a.dir(), other_title.dir());
+        assert_ne!(a.dir(), other_budget.dir());
+        // Same identity → same directory.
+        assert_eq!(a.dir(), journal(&root).dir());
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped_not_served() {
+        let root = scratch_dir("corrupt");
+        let j = journal(&root);
+        j.record(0, 0, &Cell::Value(0.5));
+        j.record(0, 1, &Cell::Value(0.25));
+        std::fs::write(j.dir().join("c0-w0.cell"), b"v zzzz").unwrap();
+        std::fs::write(j.dir().join("unrelated.txt"), b"ignore me").unwrap();
+        let cells = j.load();
+        assert!(!cells.contains_key(&(0, 0)), "corrupt record must be dropped");
+        assert_eq!(cells[&(0, 1)], Cell::Value(0.25));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unwritable_root_degrades_without_failing() {
+        let root = scratch_dir("unwritable");
+        std::fs::create_dir_all(&root).unwrap();
+        let blocked = root.join("blocked");
+        std::fs::write(&blocked, b"a file, not a dir").unwrap();
+        let j = SweepJournal::open(&blocked, "t", &[], &[], 1);
+        j.record(0, 0, &Cell::Value(0.5)); // must warn, not panic
+        assert!(j.load().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cell_names_parse() {
+        assert_eq!(parse_cell_name("c3-w11.cell"), Some((3, 11)));
+        assert_eq!(parse_cell_name("c3-w11.cell.tmp42"), None);
+        assert_eq!(parse_cell_name("junk"), None);
+    }
+}

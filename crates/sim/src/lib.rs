@@ -20,6 +20,13 @@
 //! all behaviour-transparent: reports stay byte-identical to the
 //! sequential reference path.
 //!
+//! On top of that sits a resilience layer: typed errors ([`SimError`])
+//! instead of panics on I/O/codec/config failures, panic isolation for
+//! sweep cells (a failed cell renders as `✗` while the sweep
+//! completes), deterministic fault injection ([`faults`],
+//! `TLAT_FAULTS`) exercising every recovery path, and crash-safe sweep
+//! checkpoint/resume ([`journal`], `TLAT_RESUME` / `tlat --resume`).
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,6 +44,7 @@ mod cost;
 mod delayed;
 mod diagnostics;
 mod engine;
+mod error;
 mod experiment;
 mod fetch;
 mod metrics;
@@ -45,7 +53,9 @@ mod timing;
 mod traces;
 
 pub mod diskcache;
+pub mod faults;
 pub mod gang;
+pub mod journal;
 pub mod pool;
 
 pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
@@ -54,11 +64,14 @@ pub use delayed::{simulate_delayed, DelayOptions, DelayStats, DelayedResult};
 pub use diagnostics::{per_site, windowed_accuracy, worst_sites_report, SiteStats};
 pub use diskcache::{DiskCache, TraceKey};
 pub use engine::{simulate, simulate_with, SimOptions};
+pub use error::SimError;
 pub use experiment::Harness;
+pub use faults::Faults;
 pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
-pub use gang::{gang_simulate, gang_simulate_with, GangLane};
+pub use gang::{gang_simulate, gang_simulate_isolated, gang_simulate_with, GangLane};
+pub use journal::SweepJournal;
 pub use metrics::{PredictionStats, SimResult};
-pub use pool::threads_from_env;
-pub use report::{Report, ReportRow};
+pub use pool::{run_isolated, threads_from_env, CellPanic};
+pub use report::{Cell, Report, ReportRow};
 pub use timing::{simulate_timing, TimingModel, TimingResult};
 pub use traces::{branch_limit_from_env, TraceStore, DEFAULT_BRANCH_LIMIT};

@@ -14,6 +14,7 @@
 //! byte-identity tests in `experiment.rs`) observe exactly the
 //! sequential outcome.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -70,7 +71,7 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(slot) = slots.get(i) else { break };
-                *slot.lock().unwrap() = Some(f(i));
+                *crate::error::lock_unpoisoned(slot) = Some(f(i));
             });
         }
     });
@@ -78,10 +79,95 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every index was claimed by a worker")
         })
         .collect()
+}
+
+/// A caught panic from one pool task: the payload message, preserved
+/// so sweep reports can name the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// The panic payload, if it was a string (`"non-string panic
+    /// payload"` otherwise).
+    pub message: String,
+}
+
+impl fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+std::thread_local! {
+    /// Whether the current thread is inside [`catch_cell`] (the panic
+    /// hook consults this to swap the backtrace for one concise line).
+    static ISOLATING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that prints a single
+/// `warning:` line — instead of the default message-plus-backtrace —
+/// for panics that [`catch_cell`] is about to catch and record.
+/// Uncaught panics still reach the previously installed hook intact.
+fn quiet_isolated_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ISOLATING.with(std::cell::Cell::get) {
+                eprintln!("warning: isolated panic: {info}");
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `body` under [`std::panic::catch_unwind`], converting a panic
+/// into a [`CellPanic`] carrying the payload message.
+///
+/// A caught panic prints one concise `warning:` line to stderr rather
+/// than the default backtrace — isolation must not mean silence, but a
+/// recorded-and-reported failure does not warrant a crash dump.
+///
+/// `AssertUnwindSafe` is sound here by policy: every caller treats a
+/// panicked cell as failed and either discards or rebuilds whatever
+/// state the closure touched (memo caches are poison-tolerant and
+/// insert atomically — see `error::lock_unpoisoned`).
+pub fn catch_cell<T>(body: impl FnOnce() -> T) -> Result<T, CellPanic> {
+    quiet_isolated_panics();
+    // Save and restore around nesting (a gang lane isolates inside an
+    // isolated pool task).
+    let was_isolating = ISOLATING.with(|flag| flag.replace(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    ISOLATING.with(|flag| flag.set(was_isolating));
+    result.map_err(|payload| CellPanic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// [`run_indexed`] with per-task panic isolation: a panicking task is
+/// recorded as `Err(CellPanic)` in its slot — with the payload message
+/// — while every other task runs to completion, so one poisoned cell
+/// no longer kills a whole sweep.
+pub fn run_isolated<T, F>(tasks: usize, threads: usize, f: F) -> Vec<Result<T, CellPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(tasks, threads, |i| catch_cell(|| f(i)))
 }
 
 /// [`run_indexed`] with the environment-configured worker count.
@@ -142,5 +228,35 @@ mod tests {
         // Do not mutate the process environment (tests run in
         // parallel); just exercise the default path.
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn isolated_panics_fail_only_their_own_cell() {
+        for threads in [1, 4] {
+            let out = run_isolated(10, threads, |i| {
+                if i == 3 {
+                    panic!("boom in task {i}");
+                }
+                i * 2
+            });
+            for (i, result) in out.iter().enumerate() {
+                if i == 3 {
+                    let err = result.as_ref().unwrap_err();
+                    assert!(err.message.contains("boom in task 3"), "{err}");
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i * 2, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_cell_preserves_string_payloads() {
+        assert_eq!(catch_cell(|| 5).unwrap(), 5);
+        let err = catch_cell(|| -> u32 { panic!("static str") }).unwrap_err();
+        assert_eq!(err.message, "static str");
+        let err = catch_cell(|| -> u32 { panic!("formatted {}", 9) }).unwrap_err();
+        assert_eq!(err.message, "formatted 9");
+        assert!(err.to_string().contains("task panicked"));
     }
 }

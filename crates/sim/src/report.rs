@@ -2,15 +2,55 @@
 
 use std::fmt;
 
-/// One row of a report: a labelled series of percentage values
-/// (`None` = not applicable, rendered as `—`, mirroring the paper's
-/// incomplete Diff-training data).
+/// One cell of a report.
+///
+/// `Blank` mirrors the paper's incomplete Diff-training data (rendered
+/// `—`); `Failed` is this harness's addition — a cell whose simulation
+/// panicked or errored and was isolated rather than allowed to kill
+/// the sweep (rendered `✗`, with the failure message in a footnote).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A computed value, as a fraction in `[0, 1]` (or a raw number in
+    /// raw reports).
+    Value(f64),
+    /// Not applicable (the paper's missing Diff-training cells).
+    Blank,
+    /// The cell's computation failed; the payload is the error or
+    /// panic message.
+    Failed(String),
+}
+
+impl Cell {
+    /// The numeric value, if the cell has one.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Cell::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell records an isolated failure.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Cell::Failed(_))
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(v: Option<f64>) -> Self {
+        match v {
+            Some(v) => Cell::Value(v),
+            None => Cell::Blank,
+        }
+    }
+}
+
+/// One row of a report: a labelled series of cells.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportRow {
     /// Row label (scheme configuration string or benchmark name).
     pub label: String,
-    /// One value per column, as a fraction in `[0, 1]`.
-    pub values: Vec<Option<f64>>,
+    /// One cell per column.
+    pub values: Vec<Cell>,
 }
 
 /// A rendered experiment: the data behind one of the paper's tables or
@@ -51,12 +91,22 @@ impl Report {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row of plain values (`None` = blank).
     ///
     /// # Panics
     ///
     /// Panics if the value count does not match the column count.
     pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        self.push_cells(label, values.into_iter().map(Cell::from).collect());
+    }
+
+    /// Appends a row of [`Cell`]s (the sweep drivers use this to carry
+    /// failed cells through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_cells(&mut self, label: impl Into<String>, values: Vec<Cell>) {
         assert_eq!(
             values.len(),
             self.columns.len(),
@@ -73,21 +123,37 @@ impl Report {
         self.notes.push(note.into());
     }
 
-    /// Looks up a cell by row label and column name.
+    /// Looks up a cell's value by row label and column name (`None`
+    /// for blank, failed, or absent cells).
     pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
         let c = self.columns.iter().position(|x| x == column)?;
         self.rows
             .iter()
             .find(|r| r.label == row)
-            .and_then(|r| r.values[c])
+            .and_then(|r| r.values[c].value())
+    }
+
+    /// Every failed cell as `(row label, column name, message)`, in
+    /// row-major order. Empty for a fully healthy report.
+    pub fn failed_cells(&self) -> Vec<(&str, &str, &str)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for (c, cell) in row.values.iter().enumerate() {
+                if let Cell::Failed(message) = cell {
+                    out.push((row.label.as_str(), self.columns[c].as_str(), message.as_str()));
+                }
+            }
+        }
+        out
     }
 }
 
-fn fmt_cell(v: Option<f64>, width: usize, percent: bool) -> String {
+fn fmt_cell(v: &Cell, width: usize, percent: bool) -> String {
     match v {
-        Some(v) if percent => format!("{:>width$.2}", v * 100.0),
-        Some(v) => format!("{:>width$.0}", v),
-        None => format!("{:>width$}", "—"),
+        Cell::Value(v) if percent => format!("{:>width$.2}", v * 100.0),
+        Cell::Value(v) => format!("{:>width$.0}", v),
+        Cell::Blank => format!("{:>width$}", "—"),
+        Cell::Failed(_) => format!("{:>width$}", "✗"),
     }
 }
 
@@ -119,9 +185,12 @@ impl fmt::Display for Report {
         for row in &self.rows {
             write!(f, "{:<label_width$}", row.label)?;
             for v in &row.values {
-                write!(f, "  {}", fmt_cell(*v, col_width, self.percent))?;
+                write!(f, "  {}", fmt_cell(v, col_width, self.percent))?;
             }
             writeln!(f)?;
+        }
+        for (row, column, message) in self.failed_cells() {
+            writeln!(f, "  failed: {row} / {column}: {message}")?;
         }
         for note in &self.notes {
             writeln!(f, "  note: {note}")?;
@@ -161,6 +230,21 @@ mod tests {
     }
 
     #[test]
+    fn failed_cells_render_distinctly_and_are_listed() {
+        let mut r = Report::new("Test", vec!["a".into(), "b".into()]);
+        r.push_cells(
+            "row1",
+            vec![Cell::Value(0.5), Cell::Failed("lane panicked".into())],
+        );
+        let text = r.to_string();
+        assert!(text.contains('✗'), "{text}");
+        assert!(text.contains("failed: row1 / b: lane panicked"), "{text}");
+        assert_eq!(r.cell("row1", "b"), None, "failed cells have no value");
+        assert_eq!(r.failed_cells(), vec![("row1", "b", "lane panicked")]);
+        assert!(r.rows[0].values[1].is_failed());
+    }
+
+    #[test]
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         let mut r = Report::new("t", vec!["a".into()]);
@@ -188,13 +272,17 @@ impl Report {
             let _ = write!(out, "| `{}` |", row.label);
             for v in &row.values {
                 let cell = match v {
-                    Some(v) if self.percent => format!("{:.2}", v * 100.0),
-                    Some(v) => format!("{v:.0}"),
-                    None => "—".to_owned(),
+                    Cell::Value(v) if self.percent => format!("{:.2}", v * 100.0),
+                    Cell::Value(v) => format!("{v:.0}"),
+                    Cell::Blank => "—".to_owned(),
+                    Cell::Failed(_) => "✗".to_owned(),
                 };
                 let _ = write!(out, " {cell} |");
             }
             let _ = writeln!(out);
+        }
+        for (row, column, message) in self.failed_cells() {
+            let _ = writeln!(out, "\n> failed: `{row}` / `{column}`: {message}");
         }
         for note in &self.notes {
             let _ = writeln!(out, "\n> {note}");
@@ -223,5 +311,14 @@ mod markdown_tests {
         let mut r = Report::new_raw("Counts", vec!["n".into()]);
         r.push_row("thing", vec![Some(277.0)]);
         assert!(r.to_markdown().contains("| `thing` | 277 |"));
+    }
+
+    #[test]
+    fn markdown_marks_failed_cells() {
+        let mut r = Report::new("F", vec!["x".into()]);
+        r.push_cells("row", vec![Cell::Failed("boom".into())]);
+        let md = r.to_markdown();
+        assert!(md.contains("| `row` | ✗ |"));
+        assert!(md.contains("> failed: `row` / `x`: boom"));
     }
 }

@@ -164,18 +164,39 @@ pub fn read_file(path: &std::path::Path) -> Result<Trace, FileError> {
 /// temporary file and a rename, so concurrent readers never observe a
 /// half-written trace (they see either the old file or the new one).
 ///
+/// The temporary file is fsynced before the rename: without it, a
+/// crash shortly after the rename can leave the *new name* pointing at
+/// not-yet-flushed (empty or partial) data, which is exactly the
+/// torn-file state the rename was meant to rule out. The containing
+/// directory is synced best-effort afterwards so the rename itself is
+/// durable too.
+///
 /// # Errors
 ///
 /// Propagates any I/O error; the temporary file is removed on failure.
 pub fn write_file_atomic(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    use std::io::Write;
     let bytes = encode(trace);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &bytes)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
+    let write = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().inspect_err(|_| {
         let _ = std::fs::remove_file(&tmp);
-    })
+    })?;
+    // Durability of the rename: sync the directory entry. Failure here
+    // (exotic filesystems) degrades durability, not atomicity.
+    if let Some(dir) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

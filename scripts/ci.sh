@@ -46,4 +46,52 @@ if grep -rn 'scope\.spawn' crates/sim/src | grep -v '^crates/sim/src/pool\.rs:';
     exit 1
 fi
 
+# Error discipline: no new bare `.unwrap()` in crates/sim non-test code
+# (everything before the first `#[cfg(test)]` in each file). Handle the
+# failure with SimError, `expect("invariant")`, or lock_unpoisoned —
+# or, for a genuinely unreachable case, add the exact line to
+# scripts/unwrap-allowlist.txt with a justification.
+unwraps=$(for f in crates/sim/src/*.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME":"$0}' "$f"
+done | grep -vFf <(grep -vE '^(#|$)' scripts/unwrap-allowlist.txt) || true)
+if [[ -n "$unwraps" ]]; then
+    echo "error: bare .unwrap() in crates/sim non-test code:" >&2
+    echo "$unwraps" >&2
+    exit 1
+fi
+
+# Fault-injection smoke: a seeded TLAT_FAULTS run over a real sweep
+# must recover invisibly — byte-identical report to the clean run —
+# and an injected panicking lane must fail exactly one cell while the
+# sweep completes. Tiny budget: this gates recovery, not accuracy.
+smoke_dir=target/ci-fault-smoke
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+tlat=target/release/tlat
+export TLAT_BRANCH_LIMIT=20000
+export TLAT_TRACE_CACHE="$smoke_dir/cache"
+"$tlat" fig 10 > "$smoke_dir/warm.txt"               # warm the trace cache
+"$tlat" fig 10 > "$smoke_dir/clean.txt"              # baseline, served from disk
+TLAT_FAULTS=io@0,corrupt@1:42 "$tlat" fig 10 > "$smoke_dir/faulted.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/faulted.txt"; then
+    echo "error: recovered fault injection changed the fig10 report" >&2
+    exit 1
+fi
+TLAT_FAULTS=panic@2:42 "$tlat" fig 10 > "$smoke_dir/panicked.txt"
+if [[ "$(grep -c '✗' "$smoke_dir/panicked.txt")" != 1 ]] \
+    || ! grep -q 'failed: .*injected fault' "$smoke_dir/panicked.txt"; then
+    echo "error: injected panic did not fail exactly one cell:" >&2
+    cat "$smoke_dir/panicked.txt" >&2
+    exit 1
+fi
+# Checkpoint/resume: a resumed run must replay the journal into a
+# byte-identical report.
+"$tlat" --resume fig 10 > "$smoke_dir/journaled.txt"
+"$tlat" --resume fig 10 > "$smoke_dir/resumed.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/resumed.txt"; then
+    echo "error: resumed fig10 report differs from the clean run" >&2
+    exit 1
+fi
+unset TLAT_BRANCH_LIMIT TLAT_TRACE_CACHE
+
 echo "ci: OK"

@@ -17,7 +17,7 @@ fn taxonomy_sweep_runs_on_the_suite() {
     assert!(pag.label.starts_with("PAg("));
     assert!(at.label.starts_with("AT("));
     for (p, a) in pag.values.iter().zip(&at.values) {
-        let (p, a) = (p.unwrap(), a.unwrap());
+        let (p, a) = (p.value().unwrap(), a.value().unwrap());
         // The §3.2 cached bit makes AT's predictions occasionally stale
         // relative to the pure two-lookup PAg; at short trace budgets
         // the divergence can reach a couple of points on one benchmark.
@@ -70,8 +70,8 @@ fn performance_table_renders_for_both_models() {
         assert_eq!(report.rows.len(), 5);
         // Every CPI×100 cell is at least base_cpi×100.
         for row in &report.rows {
-            for v in row.values.iter().flatten() {
-                assert!(*v >= model.base_cpi * 100.0 - 1e-9);
+            for v in row.values.iter().filter_map(tlat_sim::Cell::value) {
+                assert!(v >= model.base_cpi * 100.0 - 1e-9);
             }
         }
     }
