@@ -30,6 +30,10 @@ pub const SMOKE_BRANCH_LIMIT: u64 = 2_000;
 /// budget is capped at [`SMOKE_BRANCH_LIMIT`] so `cargo test` stays
 /// fast.
 pub fn harness(target: &str) -> Harness {
+    // Honour TLAT_METRICS even in smoke mode (where the harness is not
+    // built through `from_env`), so bench spans are recorded whenever
+    // telemetry is asked for.
+    tlat_sim::metrics::enable_from_env();
     let harness = if is_test_pass() {
         Harness::new(SMOKE_BRANCH_LIMIT)
     } else {

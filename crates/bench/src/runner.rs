@@ -23,6 +23,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
+use tlat_sim::metrics;
 use tlat_trace::json::{JsonObject, ToJson};
 
 /// Default measured iterations (odd, so the median is a real sample).
@@ -44,6 +45,12 @@ pub struct Measurement {
     /// Optional work-per-iteration (elements processed), for
     /// throughput reporting.
     pub elements: Option<u64>,
+    /// Phase-span wall-clock totals accumulated inside the measured
+    /// iterations, as `(phase name, total ns)` — one entry per
+    /// [`tlat_sim::metrics::Phase`]. Empty when telemetry recording is
+    /// off (`TLAT_METRICS` unset), so default BENCHJSON lines are
+    /// unchanged.
+    pub spans: Vec<(&'static str, u64)>,
 }
 
 impl Measurement {
@@ -61,14 +68,17 @@ impl Measurement {
 
 impl ToJson for Measurement {
     fn write_json(&self, out: &mut String) {
-        JsonObject::new()
-            .field("bench", &self.id)
+        let mut obj = JsonObject::new();
+        obj.field("bench", &self.id)
             .field("iters", &self.iters)
             .field("median_ns", &self.median_ns)
             .field("mad_ns", &self.mad_ns)
             .field("elements", &self.elements)
-            .field("ns_per_element", &self.ns_per_element())
-            .finish_into(out);
+            .field("ns_per_element", &self.ns_per_element());
+        for (phase, total_ns) in &self.spans {
+            obj.field(&format!("span_{phase}_ns"), total_ns);
+        }
+        obj.finish_into(out);
     }
 }
 
@@ -105,6 +115,9 @@ impl Runner {
     /// Creates a runner for `target` with the default iteration plan
     /// (single iteration, no warmup, under a test pass).
     pub fn new(target: &str) -> Self {
+        // Honour TLAT_METRICS no matter how the bench is structured
+        // (micro benches build a Runner without the harness).
+        metrics::enable_from_env();
         let smoke = crate::is_test_pass();
         Runner {
             target: target.to_owned(),
@@ -118,6 +131,7 @@ impl Runner {
     /// (reports are regenerated, not statistically sampled), still
     /// emitting the JSON report line.
     pub fn for_reports(target: &str) -> Self {
+        metrics::enable_from_env();
         Runner {
             target: target.to_owned(),
             warmup: 0,
@@ -149,12 +163,24 @@ impl Runner {
         for _ in 0..self.warmup {
             black_box(f());
         }
+        let before = metrics::Snapshot::now();
         let mut samples = Vec::with_capacity(self.iters as usize);
         for _ in 0..self.iters {
             let start = Instant::now();
             black_box(f());
             samples.push(start.elapsed().as_nanos() as f64);
         }
+        // Phase time spent inside the measured iterations (warmup is
+        // excluded), emitted only when recording is on.
+        let spans = if metrics::enabled() {
+            let delta = metrics::Snapshot::now().since(&before);
+            metrics::Phase::ALL
+                .iter()
+                .map(|&p| (p.name(), delta.span(p).0))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let (median_ns, mad_ns) = median_and_mad(&samples);
         let m = Measurement {
             id: format!("{}/{}", self.target, name),
@@ -162,6 +188,7 @@ impl Runner {
             median_ns,
             mad_ns,
             elements: self.elements.take(),
+            spans,
         };
         println!("BENCHJSON {}", m.to_json());
         m
@@ -234,9 +261,18 @@ mod tests {
             median_ns: 1.5,
             mad_ns: 0.25,
             elements: Some(10),
+            spans: vec![("gang_walk", 42)],
         };
-        assert!(json::validate(&m.to_json()));
-        let none = Measurement { elements: None, ..m };
-        assert!(json::validate(&none.to_json()));
+        let line = m.to_json();
+        assert!(json::validate(&line));
+        assert!(line.contains("\"span_gang_walk_ns\":42"));
+        let none = Measurement {
+            elements: None,
+            spans: Vec::new(),
+            ..m
+        };
+        let line = none.to_json();
+        assert!(json::validate(&line));
+        assert!(!line.contains("span_"), "no span fields when recording is off");
     }
 }

@@ -6,6 +6,8 @@
 //! tlat fig 3|4|5|...|10     regenerate a paper figure
 //! tlat all                  regenerate everything
 //! tlat stats                per-benchmark trace statistics
+//! tlat stats <file>         summarize a telemetry file
+//! tlat stats --check <file> validate a telemetry file
 //! tlat run <config-index>   simulate one Table 2 configuration
 //! tlat list                 list Table 2 configurations with indices
 //! ```
@@ -23,6 +25,15 @@
 //! the trace cache so a killed sweep recomputes only what is missing.
 //! `TLAT_FAULTS=<spec>:<seed>` injects deterministic faults for
 //! testing the recovery paths (see EXPERIMENTS.md).
+//!
+//! `--metrics <path>` (= `TLAT_METRICS=<path>`) records counters and
+//! phase timings during the run and writes them as JSONL at exit;
+//! `tlat stats <path>` renders the file and `tlat stats --check
+//! <path>` validates it. The schema is documented in OBSERVABILITY.md.
+//! Recording never changes report output — stdout stays byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::process::ExitCode;
 use tlat_sim::{table2, Harness, PipelineModel};
@@ -35,11 +46,14 @@ fn usage() -> ExitCode {
          \u{20}  --cache-dir <dir> trace-cache directory (= TLAT_TRACE_CACHE)\n\
          \u{20}  --no-cache        disable the persistent trace cache\n\
          \u{20}  --resume          checkpoint sweep cells; resume a killed sweep (= TLAT_RESUME=1)\n\
+         \u{20}  --metrics <path>  write run telemetry as JSONL (= TLAT_METRICS)\n\
          commands:\n\
          \u{20}  table <1|2|3>     regenerate a paper table\n\
          \u{20}  fig <3..10>       regenerate a paper figure\n\
          \u{20}  all               regenerate every table and figure\n\
          \u{20}  stats             per-benchmark trace statistics\n\
+         \u{20}  stats <file>      summarize a telemetry file\n\
+         \u{20}  stats --check <file>  validate a telemetry file\n\
          \u{20}  list              list Table 2 configurations\n\
          \u{20}  run <index>       simulate one Table 2 configuration\n\
          \u{20}  diagnose <bench> [i]  worst sites for a scheme\n\
@@ -53,7 +67,8 @@ fn usage() -> ExitCode {
          \u{20}             TLAT_THREADS (default: all cores),\n\
          \u{20}             TLAT_TRACE_CACHE (default target/tlat-cache; 0/off disables),\n\
          \u{20}             TLAT_RESUME (1/on enables sweep checkpoint/resume),\n\
-         \u{20}             TLAT_FAULTS (deterministic fault injection, e.g. io@0,corrupt@1,panic@2:42)"
+         \u{20}             TLAT_FAULTS (deterministic fault injection, e.g. io@0,corrupt@1,panic@2:42),\n\
+         \u{20}             TLAT_METRICS (telemetry JSONL output path; see README.md for the full table)"
     );
     ExitCode::FAILURE
 }
@@ -82,6 +97,11 @@ fn main() -> ExitCode {
             Some("--resume") => {
                 std::env::set_var("TLAT_RESUME", "1");
                 args.drain(..1);
+            }
+            Some("--metrics") => {
+                let Some(path) = args.get(1) else { return usage() };
+                std::env::set_var("TLAT_METRICS", path);
+                args.drain(..2);
             }
             _ => break,
         }
@@ -118,21 +138,62 @@ fn main() -> ExitCode {
             println!("{}", harness.figure9());
             println!("{}", harness.figure10());
         }
-        Some("stats") => {
-            harness.prewarm();
-            for w in harness.workloads() {
-                let trace = harness.store().test(w);
-                let stats = trace.stats();
-                println!(
-                    "{:<12} dyn-cond {:>9}  static-cond {:>6}  taken {:>6.2}%  branch-frac {:>6.2}%",
-                    w.name,
-                    stats.dynamic_conditional_branches,
-                    stats.static_conditional_branches,
-                    stats.taken_rate * 100.0,
-                    stats.branch_fraction() * 100.0,
-                );
+        Some("stats") => match args.get(1).map(String::as_str) {
+            // No argument: the original per-benchmark trace statistics.
+            None => {
+                harness.prewarm();
+                for w in harness.workloads() {
+                    let trace = harness.store().test(w);
+                    let stats = trace.stats();
+                    println!(
+                        "{:<12} dyn-cond {:>9}  static-cond {:>6}  taken {:>6.2}%  branch-frac {:>6.2}%",
+                        w.name,
+                        stats.dynamic_conditional_branches,
+                        stats.static_conditional_branches,
+                        stats.taken_rate * 100.0,
+                        stats.branch_fraction() * 100.0,
+                    );
+                }
             }
-        }
+            // A telemetry file: validate, then optionally summarize.
+            Some(first) => {
+                let checking = first == "--check";
+                let path = if checking {
+                    match args.get(2) {
+                        Some(p) => p,
+                        None => return usage(),
+                    }
+                } else {
+                    first
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match tlat_sim::metrics::check(&text) {
+                    Ok(file) => {
+                        if checking {
+                            println!(
+                                "{path}: ok (schema v{}, {} counters, {} spans, {} cell groups)",
+                                file.schema,
+                                file.counters.len(),
+                                file.spans.len(),
+                                file.cells.len()
+                            );
+                        } else {
+                            print!("{}", tlat_sim::metrics::summarize(&file));
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid telemetry: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        },
         Some("list") => {
             for (i, config) in table2().iter().enumerate() {
                 println!("{i:>3}  {}", config.label());
@@ -334,5 +395,8 @@ fn main() -> ExitCode {
         }
         _ => return usage(),
     }
+    // Telemetry goes to its side-channel file last, after every report
+    // has been printed — stdout is never touched.
+    tlat_sim::metrics::emit_from_env();
     ExitCode::SUCCESS
 }

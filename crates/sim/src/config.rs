@@ -101,6 +101,25 @@ impl SchemeConfig {
         }
     }
 
+    /// The scheme's family tag — the short prefix of the paper naming
+    /// convention (`AT`, `ST`, `LS`, …). Telemetry groups per-cell
+    /// outcome tallies by `(workload, family)` under this name, so it
+    /// stays coarse where [`label`](Self::label) is exact.
+    pub fn family(&self) -> &'static str {
+        match self {
+            SchemeConfig::TwoLevel(_) => "AT",
+            SchemeConfig::StaticTraining { .. } => "ST",
+            SchemeConfig::LeeSmith(_) => "LS",
+            SchemeConfig::Variant(_) => "Variant",
+            SchemeConfig::Gshare(_) => "gshare",
+            SchemeConfig::Tournament { .. } => "tournament",
+            SchemeConfig::Profile => "Profiling",
+            SchemeConfig::AlwaysTaken => "AlwaysTaken",
+            SchemeConfig::AlwaysNotTaken => "AlwaysNotTaken",
+            SchemeConfig::Btfn => "BTFN",
+        }
+    }
+
     /// `true` when building the predictor requires a training trace
     /// (Static Training and the profiling scheme).
     pub fn needs_training(&self) -> bool {
@@ -333,6 +352,24 @@ mod tests {
         assert_eq!(
             SchemeConfig::ls(HrtConfig::hhrt(512), AutomatonKind::LastTime).label(),
             "LS(HHRT(512,LT),,)"
+        );
+    }
+
+    #[test]
+    fn families_cover_every_scheme() {
+        for config in table2() {
+            assert!(!config.family().is_empty());
+            assert!(
+                config.label().starts_with(config.family()),
+                "{} should prefix {}",
+                config.family(),
+                config.label()
+            );
+        }
+        assert_eq!(SchemeConfig::Profile.family(), "Profiling");
+        assert_eq!(
+            SchemeConfig::Tournament { chooser_entries: 4 }.family(),
+            "tournament"
         );
     }
 

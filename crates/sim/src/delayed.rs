@@ -13,7 +13,7 @@
 //! exactly as §3.2 says. A delay of zero reduces to the ideal
 //! [`simulate`](crate::simulate) behaviour.
 
-use crate::metrics::{PredictionStats, SimResult};
+use crate::stats::{PredictionStats, SimResult};
 use std::collections::VecDeque;
 use tlat_core::Predictor;
 use tlat_trace::{BranchClass, BranchRecord, ReturnAddressStack, Trace};

@@ -6,6 +6,8 @@
 //! the sites responsible for the most mispredictions — the view an
 //! architect uses to understand a predictor's failure modes.
 
+use crate::metrics::{self, Counter, Phase};
+use crate::stats::PredictionStats;
 use std::collections::HashMap;
 use tlat_core::Predictor;
 use tlat_trace::{BranchClass, Trace};
@@ -15,35 +17,36 @@ use tlat_trace::{BranchClass, Trace};
 pub struct SiteStats {
     /// The branch's address.
     pub pc: u32,
-    /// Dynamic executions.
-    pub executions: u64,
-    /// Correct predictions.
-    pub correct: u64,
+    /// Prediction tallies for this site — the same
+    /// [`PredictionStats`] the engine uses, so per-site numbers sum to
+    /// exactly the engine's totals by construction.
+    pub stats: PredictionStats,
     /// Taken outcomes.
     pub taken: u64,
 }
 
 impl SiteStats {
+    /// Dynamic executions of this site.
+    pub fn executions(&self) -> u64 {
+        self.stats.predicted
+    }
+
     /// This site's prediction accuracy.
     pub fn accuracy(&self) -> f64 {
-        if self.executions == 0 {
-            1.0
-        } else {
-            self.correct as f64 / self.executions as f64
-        }
+        self.stats.accuracy()
     }
 
     /// Mispredictions charged to this site.
     pub fn misses(&self) -> u64 {
-        self.executions - self.correct
+        self.stats.predicted - self.stats.correct
     }
 
     /// The site's taken rate (its bias).
     pub fn taken_rate(&self) -> f64 {
-        if self.executions == 0 {
+        if self.stats.predicted == 0 {
             0.0
         } else {
-            self.taken as f64 / self.executions as f64
+            self.taken as f64 / self.stats.predicted as f64
         }
     }
 }
@@ -51,6 +54,8 @@ impl SiteStats {
 /// Simulates `predictor` over `trace` and returns per-site statistics,
 /// sorted by misses (worst first).
 pub fn per_site(predictor: &mut dyn Predictor, trace: &Trace) -> Vec<SiteStats> {
+    metrics::bump(Counter::TraceWalks);
+    let _span = metrics::span(Phase::GangWalk);
     let mut sites: HashMap<u32, SiteStats> = HashMap::new();
     for branch in trace.iter() {
         if branch.class != BranchClass::Conditional {
@@ -60,12 +65,10 @@ pub fn per_site(predictor: &mut dyn Predictor, trace: &Trace) -> Vec<SiteStats> 
         predictor.update(branch);
         let entry = sites.entry(branch.pc).or_insert(SiteStats {
             pc: branch.pc,
-            executions: 0,
-            correct: 0,
+            stats: PredictionStats::default(),
             taken: 0,
         });
-        entry.executions += 1;
-        entry.correct += (guess == branch.taken) as u64;
+        entry.stats.record(guess == branch.taken);
         entry.taken += branch.taken as u64;
     }
     let mut out: Vec<SiteStats> = sites.into_values().collect();
@@ -79,7 +82,7 @@ pub fn worst_sites_report(predictor: &mut dyn Predictor, trace: &Trace, n: usize
     use std::fmt::Write;
     let sites = per_site(predictor, trace);
     let total_misses: u64 = sites.iter().map(|s| s.misses()).sum();
-    let total_execs: u64 = sites.iter().map(|s| s.executions).sum();
+    let total_execs: u64 = sites.iter().map(|s| s.executions()).sum();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -101,7 +104,7 @@ pub fn worst_sites_report(predictor: &mut dyn Predictor, trace: &Trace, n: usize
             out,
             "{:#10x}  {:>10}  {:>8.2}  {:>8.2}  {:>8}",
             s.pc,
-            s.executions,
+            s.executions(),
             s.accuracy() * 100.0,
             s.taken_rate() * 100.0,
             s.misses()
@@ -152,8 +155,8 @@ mod tests {
         let trace = two_site_trace();
         let mut p1 = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
         let sites = per_site(&mut p1, &trace);
-        let correct: u64 = sites.iter().map(|s| s.correct).sum();
-        let execs: u64 = sites.iter().map(|s| s.executions).sum();
+        let correct: u64 = sites.iter().map(|s| s.stats.correct).sum();
+        let execs: u64 = sites.iter().map(|s| s.executions()).sum();
         let mut p2 = TwoLevelAdaptive::new(TwoLevelConfig::paper_default());
         let engine = crate::engine::simulate(&mut p2, &trace);
         assert_eq!(execs, engine.conditional.predicted);
@@ -190,6 +193,8 @@ mod tests {
 /// Panics if `window` is zero.
 pub fn windowed_accuracy(predictor: &mut dyn Predictor, trace: &Trace, window: u64) -> Vec<f64> {
     assert!(window > 0, "window must be positive");
+    metrics::bump(Counter::TraceWalks);
+    let _span = metrics::span(Phase::GangWalk);
     let mut out = Vec::new();
     let mut seen = 0u64;
     let mut correct = 0u64;

@@ -38,6 +38,7 @@
 
 use crate::error::SimError;
 use crate::faults::{CacheFault, Faults};
+use crate::metrics::{self, Counter, Phase};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -201,6 +202,7 @@ impl DiskCache {
     /// (corrupt, truncated, wrong magic) is reported on stderr,
     /// evicted, and treated as a miss so the caller regenerates it.
     pub fn load(&self, key: &TraceKey<'_>) -> Option<Trace> {
+        let _span = metrics::span(Phase::CacheLoad);
         let path = self.path_for(key);
         let injected = self.faults.on_cache_load();
         if injected == Some(CacheFault::Corrupt) {
@@ -220,10 +222,14 @@ impl DiskCache {
                 self.try_read(&path)
             };
             match result {
-                Ok(trace) => return Some(trace),
+                Ok(trace) => {
+                    metrics::bump(Counter::CacheHits);
+                    return Some(trace);
+                }
                 Err(SimError::Io { source, .. })
                     if source.kind() == std::io::ErrorKind::NotFound =>
                 {
+                    metrics::bump(Counter::CacheMisses);
                     return None; // cold miss: the common, silent case
                 }
                 Err(e @ SimError::Io { .. }) if attempt < READ_RETRIES => {
@@ -238,6 +244,7 @@ impl DiskCache {
                 }
                 Err(e @ SimError::Io { .. }) => {
                     eprintln!("warning: {e}; giving up on the cache entry and regenerating");
+                    metrics::bump(Counter::CacheMisses);
                     return None;
                 }
                 Err(e) => {
@@ -245,6 +252,8 @@ impl DiskCache {
                     // directory that refuses the unlink will refuse it
                     // next time too) and regenerate.
                     eprintln!("warning: {e}; evicting and regenerating");
+                    metrics::bump(Counter::CacheEvictions);
+                    metrics::bump(Counter::CacheMisses);
                     if let Err(unlink) = std::fs::remove_file(&path) {
                         if unlink.kind() != std::io::ErrorKind::NotFound {
                             eprintln!(

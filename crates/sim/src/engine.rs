@@ -5,7 +5,8 @@
 //! other branch classes: returns are predicted through a return-address
 //! stack, and unconditional branches need no direction prediction.
 
-use crate::metrics::{PredictionStats, SimResult};
+use crate::metrics::{self, Counter, Phase};
+use crate::stats::{PredictionStats, SimResult};
 use tlat_core::Predictor;
 use tlat_trace::{BranchClass, ReturnAddressStack, Trace};
 
@@ -38,6 +39,8 @@ pub fn simulate_with(
     trace: &Trace,
     options: SimOptions,
 ) -> SimResult {
+    metrics::bump(Counter::TraceWalks);
+    let _span = metrics::span(Phase::GangWalk);
     let mut conditional = PredictionStats::default();
     let mut ras = ReturnAddressStack::new(options.ras_entries.max(1));
     for branch in trace.iter() {

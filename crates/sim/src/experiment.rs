@@ -13,7 +13,8 @@ use crate::error::lock_unpoisoned;
 use crate::faults::Faults;
 use crate::gang::{gang_simulate_isolated, GangLane};
 use crate::journal::{self, SweepJournal};
-use crate::metrics::SimResult;
+use crate::metrics::{self, CellOutcome, Counter, Phase};
+use crate::stats::SimResult;
 use crate::pool;
 use crate::report::{Cell, Report};
 use crate::traces::TraceStore;
@@ -89,6 +90,7 @@ impl Harness {
     /// and `TLAT_RESUME`-configured sweep checkpoint/resume (off by
     /// default, journaled under the trace-cache directory).
     pub fn from_env() -> Self {
+        metrics::enable_from_env();
         let harness = Harness::over(TraceStore::from_env()).with_faults(Faults::from_env());
         if !journal::resume_from_env() {
             return harness;
@@ -202,6 +204,8 @@ impl Harness {
         let journal = self.journal_for(title, configs);
         let replayed: HashMap<(usize, usize), Cell> =
             journal.as_ref().map(SweepJournal::load).unwrap_or_default();
+        let replayed_keys: std::collections::HashSet<(usize, usize)> =
+            replayed.keys().copied().collect();
         let n_configs = configs.len();
         // One gang walk per workload; cell (ci, wi) is lane ci of walk
         // wi. Traces are generated inside each walk task (still in
@@ -243,7 +247,42 @@ impl Harness {
                 }
             }
         }
+        self.account_cells(configs, &results, &replayed_keys);
         self.render_accuracy(title, configs, &results)
+    }
+
+    /// Tallies every cell of an assembled sweep into the telemetry
+    /// layer, classed by provenance: journal-replayed, computed,
+    /// failed, or not applicable.
+    fn account_cells(
+        &self,
+        configs: &[SchemeConfig],
+        results: &HashMap<(usize, usize), Cell>,
+        replayed: &std::collections::HashSet<(usize, usize)>,
+    ) {
+        if !metrics::enabled() {
+            return;
+        }
+        for (ci, config) in configs.iter().enumerate() {
+            for (wi, workload) in self.workloads.iter().enumerate() {
+                let outcome = if replayed.contains(&(ci, wi)) {
+                    CellOutcome::Replayed
+                } else {
+                    match results.get(&(ci, wi)) {
+                        Some(Cell::Value(_)) => CellOutcome::Computed,
+                        Some(Cell::Failed(_)) => CellOutcome::Failed,
+                        Some(Cell::Blank) | None => CellOutcome::Blank,
+                    }
+                };
+                metrics::bump(match outcome {
+                    CellOutcome::Computed => Counter::CellsComputed,
+                    CellOutcome::Replayed => Counter::CellsReplayed,
+                    CellOutcome::Failed => Counter::CellsFailed,
+                    CellOutcome::Blank => Counter::CellsBlank,
+                });
+                metrics::record_cell(workload.name, config.family(), outcome);
+            }
+        }
     }
 
     /// Simulates the `missing` configurations over one workload in a
@@ -410,6 +449,7 @@ impl Harness {
                 results.insert((ci, wi), Cell::from(accuracy));
             }
         }
+        self.account_cells(configs, &results, &std::collections::HashSet::new());
         self.render_accuracy(title, configs, &results)
     }
 
@@ -422,6 +462,7 @@ impl Harness {
         configs: &[SchemeConfig],
         results: &HashMap<(usize, usize), Cell>,
     ) -> Report {
+        let _span = metrics::span(Phase::ReportRender);
         let mut report = Report::new(title, self.accuracy_columns());
         for (ci, config) in configs.iter().enumerate() {
             let mut values: Vec<Cell> = (0..self.workloads.len())

@@ -32,6 +32,7 @@
 //! Injection sites consult the plan through cheap atomic counters; a
 //! default (empty) plan costs one relaxed load per site.
 
+use crate::metrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -162,13 +163,17 @@ impl Faults {
             return None;
         }
         let ordinal = self.loads.fetch_add(1, Ordering::Relaxed);
-        if self.corrupt.contains(&ordinal) {
+        let fault = if self.corrupt.contains(&ordinal) {
             Some(CacheFault::Corrupt)
         } else if self.io.contains(&ordinal) {
             Some(CacheFault::Transient)
         } else {
             None
+        };
+        if fault.is_some() {
+            metrics::bump(metrics::Counter::FaultsInjected);
         }
+        fault
     }
 
     /// Whether the sweep cell with stable id `cell` should panic.
@@ -183,6 +188,7 @@ impl Faults {
     /// `label` names the cell in the payload for the failure report.
     pub fn maybe_panic_cell(&self, cell: u64, label: &str) {
         if self.panics_cell(cell) {
+            metrics::bump(metrics::Counter::FaultsInjected);
             panic!(
                 "injected fault: panicking lane {label} (cell {cell}, seed {})",
                 self.seed

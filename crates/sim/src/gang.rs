@@ -24,7 +24,8 @@
 
 use crate::config::SchemeConfig;
 use crate::engine::SimOptions;
-use crate::metrics::{PredictionStats, SimResult};
+use crate::metrics::{self, Counter, Phase};
+use crate::stats::{PredictionStats, SimResult};
 use crate::pool::{catch_cell, CellPanic};
 use tlat_core::{LeeSmithBtb, Predictor, TwoLevelAdaptive};
 use tlat_trace::{BranchClass, BranchRecord, ReturnAddressStack, Trace};
@@ -104,6 +105,8 @@ pub fn gang_simulate_with(
     trace: &Trace,
     options: SimOptions,
 ) -> Vec<SimResult> {
+    metrics::bump(Counter::TraceWalks);
+    let _span = metrics::span(Phase::GangWalk);
     let mut stats = vec![PredictionStats::default(); lanes.len()];
     let mut ras = ReturnAddressStack::new(options.ras_entries.max(1));
     for branch in trace.iter() {
@@ -186,6 +189,7 @@ where
                 lane_of.len()
             );
             for &i in &lane_of {
+                metrics::bump(Counter::SoloReruns);
                 outcomes[i] = match catch_cell(|| {
                     build(i).map(|lane| {
                         let mut solo = [lane];

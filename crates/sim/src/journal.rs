@@ -25,6 +25,7 @@
 
 use crate::diskcache::Fnv;
 use crate::error::SimError;
+use crate::metrics::{self, Counter, Phase};
 use crate::report::Cell;
 use std::collections::HashMap;
 use std::io::Write;
@@ -89,6 +90,7 @@ impl SweepJournal {
     /// unreadable or corrupt record is warned about and skipped (the
     /// cell is simply recomputed).
     pub fn load(&self) -> HashMap<(usize, usize), Cell> {
+        let _span = metrics::span(Phase::JournalReplay);
         let mut cells = HashMap::new();
         let entries = match std::fs::read_dir(&self.dir) {
             Ok(entries) => entries,
@@ -130,6 +132,8 @@ impl SweepJournal {
         };
         if let Err(e) = self.write_atomic(&self.cell_path(ci, wi), body.as_bytes()) {
             eprintln!("warning: {e}; sweep will not be resumable from this cell");
+        } else {
+            metrics::bump(Counter::JournalRecords);
         }
     }
 

@@ -27,6 +27,12 @@
 //! `TLAT_FAULTS`) exercising every recovery path, and crash-safe sweep
 //! checkpoint/resume ([`journal`], `TLAT_RESUME` / `tlat --resume`).
 //!
+//! Everything above is observable through the [`metrics`] telemetry
+//! layer (`TLAT_METRICS` / `tlat --metrics <path>`): default-off
+//! atomic counters and wall-clock phase spans over every hot path,
+//! emitted as schema-stable JSONL (see `OBSERVABILITY.md`) and
+//! rendered/validated by `tlat stats`.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -47,8 +53,8 @@ mod engine;
 mod error;
 mod experiment;
 mod fetch;
-mod metrics;
 mod report;
+mod stats;
 mod timing;
 mod traces;
 
@@ -56,6 +62,7 @@ pub mod diskcache;
 pub mod faults;
 pub mod gang;
 pub mod journal;
+pub mod metrics;
 pub mod pool;
 
 pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
@@ -70,7 +77,7 @@ pub use faults::Faults;
 pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
 pub use gang::{gang_simulate, gang_simulate_isolated, gang_simulate_with, GangLane};
 pub use journal::SweepJournal;
-pub use metrics::{PredictionStats, SimResult};
+pub use stats::{PredictionStats, SimResult};
 pub use pool::{run_isolated, threads_from_env, CellPanic};
 pub use report::{Cell, Report, ReportRow};
 pub use timing::{simulate_timing, TimingModel, TimingResult};

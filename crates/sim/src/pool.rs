@@ -153,8 +153,11 @@ pub fn catch_cell<T>(body: impl FnOnce() -> T) -> Result<T, CellPanic> {
     let was_isolating = ISOLATING.with(|flag| flag.replace(true));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
     ISOLATING.with(|flag| flag.set(was_isolating));
-    result.map_err(|payload| CellPanic {
-        message: panic_message(payload.as_ref()),
+    result.map_err(|payload| {
+        crate::metrics::bump(crate::metrics::Counter::PanicsCaught);
+        CellPanic {
+            message: panic_message(payload.as_ref()),
+        }
     })
 }
 

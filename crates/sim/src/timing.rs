@@ -9,7 +9,7 @@
 //! execution already in progress".
 
 use tlat_trace::json::{JsonObject, ToJson};
-use crate::metrics::PredictionStats;
+use crate::stats::PredictionStats;
 use tlat_core::{HrtConfig, Predictor, TargetBuffer};
 use tlat_trace::{BranchClass, ReturnAddressStack, Trace};
 

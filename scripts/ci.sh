@@ -92,6 +92,39 @@ if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/resumed.txt"; then
     echo "error: resumed fig10 report differs from the clean run" >&2
     exit 1
 fi
+
+# Telemetry smoke (OBSERVABILITY.md): a --metrics run must render a
+# byte-identical report, its JSONL must pass the schema check, and the
+# default-off path must emit no file.
+"$tlat" --metrics "$smoke_dir/m.jsonl" fig 10 > "$smoke_dir/metered.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/metered.txt"; then
+    echo "error: --metrics changed the fig10 report" >&2
+    exit 1
+fi
+[[ -s "$smoke_dir/m.jsonl" ]] || {
+    echo "error: --metrics run emitted no telemetry file" >&2
+    exit 1
+}
+"$tlat" stats --check "$smoke_dir/m.jsonl"
+rm -f "$smoke_dir/m.jsonl"
+"$tlat" fig 10 > /dev/null                           # default-off: no file
+if [[ -e "$smoke_dir/m.jsonl" ]]; then
+    echo "error: telemetry file appeared without TLAT_METRICS/--metrics" >&2
+    exit 1
+fi
 unset TLAT_BRANCH_LIMIT TLAT_TRACE_CACHE
+
+# Environment-variable documentation: every TLAT_* variable read in the
+# sources must have a row in README.md's "Environment variables" table.
+undocumented=$(grep -rhoE '"TLAT_[A-Z_]+"' crates src tests examples 2>/dev/null \
+    | tr -d '"' | sort -u \
+    | while read -r var; do
+        grep -q "^| \`$var\`" README.md || echo "$var"
+    done)
+if [[ -n "$undocumented" ]]; then
+    echo "error: TLAT_ variables read in code but missing from README.md's table:" >&2
+    echo "$undocumented" >&2
+    exit 1
+fi
 
 echo "ci: OK"

@@ -39,6 +39,13 @@
 //! // the period-4 pattern.
 //! assert!(correct as f64 / total as f64 > 0.95);
 //! ```
+//!
+//! Sweeps are observable: see [`sim::metrics`] and `OBSERVABILITY.md`
+//! for the telemetry layer (`TLAT_METRICS`), and README.md's
+//! "Environment variables" for every `TLAT_*` knob.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use tlat_core as core;
 pub use tlat_isa as isa;

@@ -83,7 +83,7 @@ fn diagnostics_account_for_every_conditional_branch() {
     let trace = w.trace_test(30_000).unwrap();
     let mut p = SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2).build(None);
     let sites = per_site(p.as_mut(), &trace);
-    let execs: u64 = sites.iter().map(|s| s.executions).sum();
+    let execs: u64 = sites.iter().map(|s| s.executions()).sum();
     assert_eq!(execs, trace.conditional_len());
     // Sites are sorted worst-first.
     for pair in sites.windows(2) {
