@@ -1,0 +1,73 @@
+//! Gang inner-loop throughput: the compiled event-stream walk against
+//! the raw-record reference walk, over the same lanes and trace.
+//!
+//! This isolates the tentpole win of the stream compiler — site-interned
+//! SoA events plus per-site resolved table coordinates — from the sweep
+//! bench's other effects (trace generation, training, the worker pool).
+//! The compiled walk is timed over a stream compiled once up front,
+//! matching the harness (which memoizes one [`CompiledTrace`] per
+//! workload); the once-per-workload compile cost is reported separately
+//! as `stream_compile`. Run with `cargo bench --bench gang_inner`;
+//! three BENCHJSON lines are emitted (`inner_record_walk`,
+//! `inner_compiled_walk`, `stream_compile`) plus a derived speedup
+//! line.
+
+use tlat_bench::runner::Runner;
+use tlat_core::{AutomatonKind, HrtConfig};
+use tlat_sim::gang::{gang_simulate_precompiled, gang_simulate_records, GangLane};
+use tlat_sim::{SchemeConfig, SimOptions};
+use tlat_workloads::SyntheticStream;
+
+fn main() {
+    let branches: u64 = if tlat_bench::is_test_pass() {
+        tlat_bench::SMOKE_BRANCH_LIMIT
+    } else {
+        500_000
+    };
+    println!("[gang_inner] walking {branches} synthetic branches per iteration");
+    let trace = SyntheticStream::mixed(0x9a1, 512).generate(branches);
+
+    // The Figure 10 monomorphized lanes: the walk is all fast-path, so
+    // the two engines differ only in how the stream reaches them.
+    let configs = vec![
+        SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+        SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+        SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+        SchemeConfig::at(HrtConfig::hhrt(512), 12, AutomatonKind::A2),
+    ];
+    let lanes = || -> Vec<GangLane> {
+        configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect()
+    };
+    let events = trace.conditional_len() as u64 * configs.len() as u64;
+
+    let mut group = Runner::new("gang_inner");
+    group.plan(1, 7);
+    let records = group.throughput(events).bench("inner_record_walk", || {
+        let mut lanes = lanes();
+        gang_simulate_records(&mut lanes, &trace, SimOptions::default()).len()
+    });
+    let stream = tlat_trace::CompiledTrace::compile(&trace);
+    group.plan(1, 7);
+    let compiled = group.throughput(events).bench("inner_compiled_walk", || {
+        let mut lanes = lanes();
+        gang_simulate_precompiled(&mut lanes, &trace, &stream, SimOptions::default()).len()
+    });
+    // The once-per-workload compile cost on its own (per conditional,
+    // not per lane-event), so regressions in interning show up directly.
+    group.plan(1, 7);
+    group
+        .throughput(trace.conditional_len())
+        .bench("stream_compile", || {
+            tlat_trace::CompiledTrace::compile(&trace).len()
+        });
+
+    if compiled.median_ns > 0.0 {
+        println!(
+            "[gang_inner] compiled stream vs record stream: {:.2}x",
+            records.median_ns / compiled.median_ns
+        );
+    }
+}

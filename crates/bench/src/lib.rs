@@ -11,8 +11,9 @@
 //! `cargo bench -- --test` (as run by `scripts/ci.sh`) executes every
 //! `harness = false` bench target with a `--test` flag; the benches
 //! detect that ([`is_test_pass`]) and switch to a smoke mode — tiny
-//! branch budgets and single iterations — so CI exercises every bench
-//! path without paying bench runtimes.
+//! branch budgets and a short warmed-up iteration plan (see
+//! [`runner::SMOKE_ITERS`]) — so CI exercises every bench path without
+//! paying full bench runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

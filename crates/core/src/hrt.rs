@@ -15,8 +15,32 @@
 //!   but the tag store is saved.
 
 use tlat_trace::json::{JsonObject, ToJson};
+use tlat_trace::SiteId;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+// Key derivation shared between the per-pc lookup paths and the
+// per-trace [`SiteKeys`] precomputation — one definition, so the two
+// can never drift apart.
+
+/// AHRT set index: low bits of the word-aligned pc.
+#[inline]
+fn assoc_set(pc: u32, sets: usize) -> usize {
+    ((pc >> 2) as usize) & (sets - 1)
+}
+
+/// AHRT tag: the word-aligned pc above the set bits.
+#[inline]
+fn assoc_tag(pc: u32, sets: usize) -> u32 {
+    (pc >> 2) / sets as u32
+}
+
+/// HHRT slot: low bits of the word-aligned pc.
+#[inline]
+fn hash_slot(pc: u32, entries: usize) -> usize {
+    ((pc >> 2) as usize) & (entries - 1)
+}
 
 /// Access statistics for a history-register table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,9 +132,19 @@ pub trait HistoryTable<E> {
 }
 
 /// The ideal history-register table: unbounded, one entry per branch.
+///
+/// Entries live in a flat `Vec`, indexed by allocation order; the
+/// side `pc → slot` index only serves the per-pc lookup path. When a
+/// trace has been compiled ([`tlat_trace::CompiledTrace`]) the interned
+/// [`SiteId`]s *are* the allocation order (both are first-appearance
+/// order), so the site path reaches an entry by direct index — no
+/// hashing per lane per branch.
 #[derive(Debug, Clone)]
 pub struct Ihrt<E> {
-    map: HashMap<u32, E>,
+    /// `pc → slot` (the per-pc path's index; the site path bypasses it).
+    index: HashMap<u32, u32>,
+    /// Entries in allocation (first-appearance) order.
+    slots: Vec<E>,
     stats: HrtStats,
 }
 
@@ -118,19 +152,42 @@ impl<E> Ihrt<E> {
     /// Creates an empty ideal table.
     pub fn new() -> Self {
         Ihrt {
-            map: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
             stats: HrtStats::default(),
         }
     }
 
     /// Number of distinct branches seen.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slots.len()
     }
 
     /// `true` when no branches have been seen.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slots.is_empty()
+    }
+
+    /// Site-indexed lookup: `site` must be the pc's interned id from
+    /// the same event stream this table has been driven with, so a
+    /// fresh site is exactly the next slot to allocate.
+    #[inline]
+    fn get_or_allocate_site(&mut self, site: SiteId, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        if (site as usize) < self.slots.len() {
+            return (&mut self.slots[site as usize], true);
+        }
+        debug_assert_eq!(
+            site as usize,
+            self.slots.len(),
+            "site ids must arrive in interning order"
+        );
+        self.stats.misses += 1;
+        // Keep the pc index coherent so mixed site/pc access works.
+        self.index.insert(pc, site);
+        self.slots.push(init());
+        let entry = self.slots.last_mut().expect("just pushed");
+        (entry, false)
     }
 }
 
@@ -143,19 +200,24 @@ impl<E> Default for Ihrt<E> {
 impl<E> HistoryTable<E> for Ihrt<E> {
     fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
         self.stats.accesses += 1;
-        let mut hit = true;
-        let entry = self.map.entry(pc).or_insert_with(|| {
-            hit = false;
-            init()
-        });
-        if !hit {
-            self.stats.misses += 1;
-        }
-        (entry, hit)
+        let slot = match self.index.entry(pc) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                return (&mut self.slots[*e.get() as usize], true);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = self.slots.len() as u32;
+                v.insert(slot);
+                slot
+            }
+        };
+        self.stats.misses += 1;
+        self.slots.push(init());
+        (&mut self.slots[slot as usize], false)
     }
 
     fn peek(&mut self, pc: u32) -> Option<&mut E> {
-        self.map.get_mut(&pc)
+        let slot = *self.index.get(&pc)?;
+        Some(&mut self.slots[slot as usize])
     }
 
     fn stats(&self) -> HrtStats {
@@ -163,11 +225,38 @@ impl<E> HistoryTable<E> for Ihrt<E> {
     }
 }
 
+/// What one set-associative probe decided: a tag hit, a miss filling
+/// an invalid way, or a miss replacing the LRU victim. Replayed to
+/// same-geometry lanes by a [`SlotProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// A way held the tag; its entry is reused.
+    Hit,
+    /// An invalid way was filled; the entry is initialized fresh.
+    Filled,
+    /// The LRU victim was evicted; the entry is inherited from it (or
+    /// re-initialized, under [`Ahrt::set_reinit_on_replace`]).
+    Replaced,
+}
+
+/// One replayed AHRT probe decision: which absolute way index the
+/// access resolved to, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Absolute way index (`set * assoc + way`).
+    pub slot: u32,
+    /// How the slot was resolved.
+    pub outcome: ProbeOutcome,
+}
+
+/// The tag marking a way that has never been filled. Real tags cannot
+/// collide with it: a tag is `(pc >> 2) / sets <= 2^30`.
+const INVALID_TAG: u32 = u32::MAX;
+
 #[derive(Debug, Clone)]
 struct Way<E> {
     tag: u32,
-    valid: bool,
-    stamp: u64,
+    stamp: u32,
     entry: E,
 }
 
@@ -177,7 +266,10 @@ pub struct Ahrt<E> {
     ways: Vec<Way<E>>,
     sets: usize,
     assoc: usize,
-    clock: u64,
+    /// LRU clock, bumped once per access. `u32` keeps the way struct
+    /// small; it would take 4.29 billion accesses to one table to wrap,
+    /// two orders of magnitude past the paper's 20M-branch traces.
+    clock: u32,
     reinit_on_replace: bool,
     stats: HrtStats,
 }
@@ -186,9 +278,10 @@ impl<E: Clone> Ahrt<E> {
     /// Creates an `entries`-entry, `ways`-way table with every entry
     /// initialized to `fill`.
     ///
-    /// The table is "pre-warmed": every way starts valid with an
-    /// impossible tag, so a replaced branch inherits the initial (or a
-    /// victim's) history rather than garbage.
+    /// The table is "pre-warmed": every way starts with the impossible
+    /// [`INVALID_TAG`] and pre-filled contents, so a replaced branch
+    /// inherits the initial (or a victim's) history rather than
+    /// garbage.
     ///
     /// # Panics
     ///
@@ -207,8 +300,7 @@ impl<E: Clone> Ahrt<E> {
         Ahrt {
             ways: vec![
                 Way {
-                    tag: u32::MAX,
-                    valid: false,
+                    tag: INVALID_TAG,
                     stamp: 0,
                     entry: fill,
                 };
@@ -235,48 +327,134 @@ impl<E: Clone> Ahrt<E> {
     }
 
     fn set_index(&self, pc: u32) -> usize {
-        ((pc >> 2) as usize) & (self.sets - 1)
+        assoc_set(pc, self.sets)
     }
 
     fn tag(&self, pc: u32) -> u32 {
-        (pc >> 2) / self.sets as u32
+        assoc_tag(pc, self.sets)
+    }
+
+    /// The probe every lookup path shares: `base` is the set's first
+    /// way index (`set * assoc`) and `tag` the pc's tag, either derived
+    /// from the pc ([`HistoryTable::get_or_allocate`]) or precomputed
+    /// per site ([`SiteKeys`]). Statistics, LRU clocking, and victim
+    /// selection are identical either way.
+    #[inline]
+    fn probe(&mut self, base: usize, tag: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let slots = &mut self.ways[base..base + self.assoc];
+
+        // Hit? (INVALID_TAG never matches a real tag.)
+        if let Some(i) = slots.iter().position(|w| w.tag == tag) {
+            slots[i].stamp = self.clock;
+            return (&mut slots[i].entry, true);
+        }
+
+        // Miss: prefer a never-filled way, else the LRU way.
+        self.stats.misses += 1;
+        let victim = slots
+            .iter()
+            .position(|w| w.tag == INVALID_TAG)
+            .unwrap_or_else(|| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .expect("associativity is non-zero")
+            });
+        let way = &mut slots[victim];
+        let was_invalid = way.tag == INVALID_TAG;
+        way.tag = tag;
+        way.stamp = self.clock;
+        if was_invalid || self.reinit_on_replace {
+            way.entry = init();
+        }
+        (&mut way.entry, false)
+    }
+
+    /// [`probe`](Ahrt::probe) with the decision externalized: the same
+    /// statistics, LRU clocking, tag matching, and victim selection,
+    /// but reported as a [`Probe`] instead of resolved to an entry.
+    /// Drives a [`SlotProbe`], whose table carries no payload.
+    #[inline]
+    fn probe_slot(&mut self, base: usize, tag: u32) -> Probe {
+        self.stats.accesses += 1;
+        self.clock += 1;
+        let slots = &mut self.ways[base..base + self.assoc];
+        if let Some(i) = slots.iter().position(|w| w.tag == tag) {
+            slots[i].stamp = self.clock;
+            return Probe {
+                slot: (base + i) as u32,
+                outcome: ProbeOutcome::Hit,
+            };
+        }
+        self.stats.misses += 1;
+        let (victim, outcome) = match slots.iter().position(|w| w.tag == INVALID_TAG) {
+            Some(i) => (i, ProbeOutcome::Filled),
+            None => (
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .expect("associativity is non-zero"),
+                ProbeOutcome::Replaced,
+            ),
+        };
+        let way = &mut slots[victim];
+        way.tag = tag;
+        way.stamp = self.clock;
+        Probe {
+            slot: (base + victim) as u32,
+            outcome,
+        }
+    }
+
+    /// Applies a replayed [`Probe`] decision to this table: entry
+    /// initialization and every prediction that follows end up exactly
+    /// as [`probe`](Ahrt::probe) on the same access sequence would
+    /// leave them — the scan and victim search were paid once, by the
+    /// shared [`SlotProbe`].
+    ///
+    /// The lane's own tag/stamp metadata and access statistics are not
+    /// touched: the engine's copies are the source of truth for the
+    /// whole walk (a slot-replayed walk drives *every* access, so the
+    /// stale metadata is never consulted), and the engine's statistics
+    /// — identical for every lane in the group — are folded back once
+    /// via [`Ahrt::adopt_probe_stats`].
+    #[inline]
+    fn slot_entry(&mut self, p: Probe, init: impl FnOnce() -> E) -> &mut E {
+        let way = &mut self.ways[p.slot as usize];
+        match p.outcome {
+            ProbeOutcome::Hit => {}
+            ProbeOutcome::Filled => way.entry = init(),
+            ProbeOutcome::Replaced => {
+                if self.reinit_on_replace {
+                    way.entry = init();
+                }
+            }
+        }
+        &mut way.entry
+    }
+
+    /// Accumulates a shared [`SlotProbe`]'s access statistics into this
+    /// table, after a slot-replayed walk: the engine counted the
+    /// group's (identical) accesses and misses once, so the lane's
+    /// [`stats`](HistoryTable::stats) report exactly what per-lane
+    /// probing would have counted.
+    fn adopt_probe_stats(&mut self, stats: HrtStats) {
+        self.stats.accesses += stats.accesses;
+        self.stats.misses += stats.misses;
     }
 }
 
 impl<E: Clone> HistoryTable<E> for Ahrt<E> {
     fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
-        self.stats.accesses += 1;
-        self.clock += 1;
-        let set = self.set_index(pc);
+        let base = self.set_index(pc) * self.assoc;
         let tag = self.tag(pc);
-        let base = set * self.assoc;
-        let slots = &mut self.ways[base..base + self.assoc];
-
-        // Hit?
-        if let Some(i) = slots.iter().position(|w| w.valid && w.tag == tag) {
-            slots[i].stamp = self.clock;
-            return (&mut slots[i].entry, true);
-        }
-
-        // Miss: prefer an invalid way, else the LRU way.
-        self.stats.misses += 1;
-        let victim = slots.iter().position(|w| !w.valid).unwrap_or_else(|| {
-            slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("associativity is non-zero")
-        });
-        let way = &mut slots[victim];
-        let was_valid = way.valid;
-        way.tag = tag;
-        way.valid = true;
-        way.stamp = self.clock;
-        if !was_valid || self.reinit_on_replace {
-            way.entry = init();
-        }
-        (&mut way.entry, false)
+        self.probe(base, tag, init)
     }
 
     fn peek(&mut self, pc: u32) -> Option<&mut E> {
@@ -285,7 +463,7 @@ impl<E: Clone> HistoryTable<E> for Ahrt<E> {
         let base = set * self.assoc;
         self.ways[base..base + self.assoc]
             .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
+            .find(|w| w.tag == tag)
             .map(|w| &mut w.entry)
     }
 
@@ -327,7 +505,16 @@ impl<E: Clone> Hhrt<E> {
     }
 
     fn index(&self, pc: u32) -> usize {
-        ((pc >> 2) as usize) & (self.slots.len() - 1)
+        hash_slot(pc, self.slots.len())
+    }
+
+    /// Slot-indexed lookup: `slot` is the pc's hash slot, precomputed
+    /// per site by [`SiteKeys`]. Same statistics as the per-pc path (a
+    /// tagless table always "hits").
+    #[inline]
+    fn get_or_allocate_slot(&mut self, slot: u32) -> (&mut E, bool) {
+        self.stats.accesses += 1;
+        (&mut self.slots[slot as usize], true)
     }
 }
 
@@ -386,6 +573,122 @@ impl<E: Clone> AnyHrt<E> {
     }
 }
 
+impl<E: Clone> AnyHrt<E> {
+    /// Site-indexed lookup through precomputed [`SiteKeys`]: behaviour
+    /// and statistics are identical to
+    /// [`get_or_allocate`](HistoryTable::get_or_allocate) on the site's
+    /// pc, but the table's set/tag/slot arithmetic (and, for the ideal
+    /// table, the pc hash) has already been paid once per trace instead
+    /// of per lane per branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` was resolved for a different organization
+    /// than this table.
+    #[inline]
+    pub fn get_or_allocate_site(
+        &mut self,
+        site: SiteId,
+        keys: &SiteKeys,
+        init: impl FnOnce() -> E,
+    ) -> (&mut E, bool) {
+        let site = site as usize;
+        match (self, keys) {
+            (AnyHrt::Ideal(t), SiteKeys::Ideal { pcs }) => {
+                t.get_or_allocate_site(site as SiteId, pcs[site], init)
+            }
+            (AnyHrt::Associative(t), SiteKeys::Associative { key }) => {
+                let k = key[site];
+                t.probe((k >> 32) as usize, k as u32, init)
+            }
+            (AnyHrt::Hashed(t), SiteKeys::Hashed { slot }) => t.get_or_allocate_slot(slot[site]),
+            _ => panic!("site keys were resolved for a different HRT organization"),
+        }
+    }
+
+    /// Applies a [`Probe`] decision replayed by a same-geometry
+    /// [`SlotProbe`]: predictions, entry state, and statistics are
+    /// identical to
+    /// [`get_or_allocate_site`](AnyHrt::get_or_allocate_site) on the
+    /// same access, but the tag scan and victim search were paid once
+    /// for every lane sharing the geometry instead of per lane (the
+    /// lane's own tag/stamp metadata goes stale — the engine owns it
+    /// for the duration of the walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-associative organizations (slot probes only exist
+    /// for set-associative geometry).
+    #[inline]
+    pub fn slot_entry(&mut self, probe: Probe, init: impl FnOnce() -> E) -> &mut E {
+        match self {
+            AnyHrt::Associative(t) => t.slot_entry(probe, init),
+            _ => panic!("slot probes only drive set-associative tables"),
+        }
+    }
+
+    /// See [`Ahrt::adopt_probe_stats`]; called once at the end of a
+    /// slot-replayed walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-associative organizations.
+    pub fn adopt_probe_stats(&mut self, stats: HrtStats) {
+        match self {
+            AnyHrt::Associative(t) => t.adopt_probe_stats(stats),
+            _ => panic!("slot probes only drive set-associative tables"),
+        }
+    }
+}
+
+/// A shared set-associative probe engine for one gang walk.
+///
+/// Every lane whose HRT has the same geometry sees the same access
+/// sequence during a gang walk, starts from the same pre-warmed state,
+/// and therefore makes byte-identical tag/LRU decisions on every
+/// event. A `SlotProbe` carries that decision state once — a payload-
+/// free [`Ahrt`] — and replays each event's [`Probe`] to every lane in
+/// the group ([`AnyHrt::slot_entry`]), so the per-event way scan and
+/// victim search are paid once per geometry instead of once per lane.
+#[derive(Debug, Clone)]
+pub struct SlotProbe {
+    table: Ahrt<()>,
+    keys: Arc<SiteKeys>,
+}
+
+impl SlotProbe {
+    /// An engine for `config`'s geometry over `resolver`'s sites, or
+    /// `None` for non-associative organizations (ideal and hashed
+    /// tables are direct-indexed — there is no scan to share).
+    pub fn build(config: HrtConfig, resolver: &mut SiteResolver) -> Option<Self> {
+        let HrtConfig::Associative { entries, ways } = config else {
+            return None;
+        };
+        Some(SlotProbe {
+            table: Ahrt::new(entries, ways, ()),
+            keys: resolver.keys(config),
+        })
+    }
+
+    /// Probes `site`, advancing the shared tag/LRU state exactly as
+    /// each lane's own table would.
+    #[inline]
+    pub fn step(&mut self, site: SiteId) -> Probe {
+        let SiteKeys::Associative { key } = &*self.keys else {
+            unreachable!("SlotProbe::build only accepts associative geometry");
+        };
+        let k = key[site as usize];
+        self.table.probe_slot((k >> 32) as usize, k as u32)
+    }
+
+    /// Access statistics of the replayed sequence — what every lane in
+    /// the group would have counted probing on its own (see
+    /// [`AnyHrt::adopt_probe_stats`]).
+    pub fn stats(&self) -> HrtStats {
+        self.table.stats()
+    }
+}
+
 impl<E: Clone> HistoryTable<E> for AnyHrt<E> {
     fn get_or_allocate(&mut self, pc: u32, init: impl FnOnce() -> E) -> (&mut E, bool) {
         match self {
@@ -408,6 +711,122 @@ impl<E: Clone> HistoryTable<E> for AnyHrt<E> {
             AnyHrt::Ideal(t) => t.stats(),
             AnyHrt::Associative(t) => t.stats(),
             AnyHrt::Hashed(t) => t.stats(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-trace site keys
+// ---------------------------------------------------------------------
+
+/// Precomputed table coordinates for every interned site of one
+/// compiled trace, under one HRT organization.
+///
+/// A gang walk re-derives each branch's table coordinates — IHRT hash,
+/// AHRT set/tag (a real division), HHRT mask — once per lane per
+/// branch. `SiteKeys` pays that arithmetic once per trace: index by
+/// [`SiteId`] and the coordinates come back resolved. Built from the
+/// same helpers the per-pc paths use, so the two cannot disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteKeys {
+    /// Ideal table: the site id itself is the slot (interning order is
+    /// allocation order); the pcs ride along to keep the table's pc
+    /// index coherent.
+    Ideal {
+        /// `SiteId → pc`.
+        pcs: Arc<Vec<u32>>,
+    },
+    /// Set-associative table: per-site first-way index and tag, packed
+    /// into one word (`base << 32 | tag`) so the hot loop pays a single
+    /// load and bounds check per event.
+    Associative {
+        /// `SiteId → (set * ways) << 32 | tag`.
+        key: Vec<u64>,
+    },
+    /// Tagless hashed table: per-site slot.
+    Hashed {
+        /// `SiteId → slot`.
+        slot: Vec<u32>,
+    },
+}
+
+impl SiteKeys {
+    /// Resolves every site pc under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` carries invalid geometry (same rules as
+    /// [`AnyHrt::build`]).
+    pub fn build(config: HrtConfig, pcs: &Arc<Vec<u32>>) -> Self {
+        match config {
+            HrtConfig::Ideal => SiteKeys::Ideal {
+                pcs: Arc::clone(pcs),
+            },
+            HrtConfig::Associative { entries, ways } => {
+                assert!(
+                    ways > 0 && entries.is_multiple_of(ways),
+                    "ways must divide entries"
+                );
+                let sets = entries / ways;
+                assert!(
+                    sets.is_power_of_two(),
+                    "set count must be a power of two (got {sets})"
+                );
+                SiteKeys::Associative {
+                    key: pcs
+                        .iter()
+                        .map(|&pc| {
+                            ((assoc_set(pc, sets) * ways) as u64) << 32
+                                | u64::from(assoc_tag(pc, sets))
+                        })
+                        .collect(),
+                }
+            }
+            HrtConfig::Hashed { entries } => {
+                assert!(
+                    entries.is_power_of_two(),
+                    "HHRT size must be a power of two (got {entries})"
+                );
+                SiteKeys::Hashed {
+                    slot: pcs.iter().map(|&pc| hash_slot(pc, entries) as u32).collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Builds and memoizes [`SiteKeys`] per HRT organization for one
+/// compiled trace, so all same-geometry lanes of a gang walk share one
+/// resolved table.
+#[derive(Debug, Clone)]
+pub struct SiteResolver {
+    pcs: Arc<Vec<u32>>,
+    cache: HashMap<HrtConfig, Arc<SiteKeys>>,
+}
+
+impl SiteResolver {
+    /// A resolver over the interned `SiteId → pc` table of one
+    /// compiled trace (see `tlat_trace::CompiledTrace::site_pcs`).
+    pub fn new(pcs: Vec<u32>) -> Self {
+        SiteResolver {
+            pcs: Arc::new(pcs),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The interned `SiteId → pc` table this resolver was built over.
+    pub fn site_pcs(&self) -> &[u32] {
+        &self.pcs
+    }
+
+    /// The resolved keys for `config`, built on first request and
+    /// shared afterwards.
+    pub fn keys(&mut self, config: HrtConfig) -> Arc<SiteKeys> {
+        match self.cache.entry(config) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                Arc::clone(v.insert(Arc::new(SiteKeys::build(config, &self.pcs))))
+            }
         }
     }
 }
@@ -593,5 +1012,84 @@ mod tests {
         assert_eq!(HrtConfig::Ideal.label(), "IHRT");
         assert_eq!(HrtConfig::ahrt(512).label(), "AHRT(512)");
         assert_eq!(HrtConfig::hhrt(256).label(), "HHRT(256)");
+    }
+
+    /// A small pseudorandom branch stream with heavy pc reuse: the
+    /// returned `(pc, site)` pairs replay first-appearance interning.
+    fn interned_stream(n: usize, sites: u32) -> (Vec<(u32, u32)>, Vec<u32>) {
+        let mut pcs_of_site: Vec<u32> = Vec::new();
+        let mut events = Vec::with_capacity(n);
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x1000 + ((x >> 30) as u32 % sites) * 4;
+            let site = match pcs_of_site.iter().position(|&p| p == pc) {
+                Some(i) => i as u32,
+                None => {
+                    pcs_of_site.push(pc);
+                    (pcs_of_site.len() - 1) as u32
+                }
+            };
+            events.push((pc, site));
+        }
+        (events, pcs_of_site)
+    }
+
+    #[test]
+    fn site_path_matches_pc_path_for_every_organization() {
+        let (events, pcs) = interned_stream(4_000, 61);
+        let pcs = Arc::new(pcs);
+        for config in [HrtConfig::Ideal, HrtConfig::ahrt(32), HrtConfig::hhrt(16)] {
+            let keys = SiteKeys::build(config, &pcs);
+            let mut by_pc = AnyHrt::build(config, 0u32);
+            let mut by_site = AnyHrt::build(config, 0u32);
+            for (i, &(pc, site)) in events.iter().enumerate() {
+                let (a, hit_a) = by_pc.get_or_allocate(pc, || 1000);
+                let (b, hit_b) = by_site.get_or_allocate_site(site, &keys, || 1000);
+                assert_eq!(hit_a, hit_b, "{config} event {i}");
+                assert_eq!(*a, *b, "{config} event {i}");
+                *a += 1;
+                *b += 1;
+            }
+            assert_eq!(by_pc.stats(), by_site.stats(), "{config}");
+        }
+    }
+
+    #[test]
+    fn ihrt_site_and_pc_paths_share_entries() {
+        let mut t: Ihrt<u32> = Ihrt::new();
+        let (e, hit) = t.get_or_allocate_site(0, 0x1000, || 7);
+        assert!(!hit);
+        *e = 9;
+        // The pc path finds the site-allocated entry (and vice versa).
+        let (e, hit) = t.get_or_allocate(0x1000, || 7);
+        assert!(hit);
+        assert_eq!(*e, 9);
+        let (e, hit) = t.get_or_allocate_site(0, 0x1000, || 7);
+        assert!(hit);
+        assert_eq!(*e, 9);
+        assert_eq!(t.stats().accesses, 3);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different HRT organization")]
+    fn mismatched_site_keys_are_rejected() {
+        let pcs = Arc::new(vec![0x1000]);
+        let keys = SiteKeys::build(HrtConfig::hhrt(16), &pcs);
+        let mut t = AnyHrt::build(HrtConfig::ahrt(16), 0u32);
+        t.get_or_allocate_site(0, &keys, || 0);
+    }
+
+    #[test]
+    fn resolver_shares_keys_per_geometry() {
+        let mut r = SiteResolver::new(vec![0x1000, 0x2000]);
+        let a = r.keys(HrtConfig::ahrt(512));
+        let b = r.keys(HrtConfig::ahrt(512));
+        assert!(Arc::ptr_eq(&a, &b), "same geometry must share one table");
+        let c = r.keys(HrtConfig::hhrt(512));
+        assert!(matches!(*c, SiteKeys::Hashed { .. }));
     }
 }

@@ -63,7 +63,10 @@ mod variants;
 pub use automaton::{AnyAutomaton, Automaton, AutomatonKind, LastTime, A1, A2, A3, A4};
 pub use btb::TargetBuffer;
 pub use history::{HistoryRegister, MAX_HISTORY_BITS};
-pub use hrt::{Ahrt, AnyHrt, Hhrt, HistoryTable, HrtConfig, HrtStats, Ihrt};
+pub use hrt::{
+    Ahrt, AnyHrt, Hhrt, HistoryTable, HrtConfig, HrtStats, Ihrt, Probe, ProbeOutcome, SiteKeys,
+    SiteResolver, SlotProbe,
+};
 pub use hybrid::{Gshare, GshareConfig, Tournament};
 pub use lee_smith::{LeeSmithBtb, LeeSmithConfig};
 pub use pattern::PatternTable;

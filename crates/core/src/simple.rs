@@ -2,9 +2,10 @@
 //! Backward-Taken/Forward-Not-taken, and opcode-bit profiling.
 
 use tlat_trace::json::{JsonObject, ToJson};
+use crate::hrt::SiteResolver;
 use crate::predictor::Predictor;
 use std::collections::HashMap;
-use tlat_trace::{BranchClass, BranchRecord, Trace};
+use tlat_trace::{BranchClass, BranchRecord, SiteId, Trace};
 
 /// Predicts every branch taken (~60 % accuracy on the paper's mix).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,6 +68,9 @@ impl Predictor for Btfn {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProfilePredictor {
     bits: HashMap<u32, bool>,
+    /// Per-trace frozen bits by [`SiteId`], resolved by
+    /// [`bind_sites`](ProfilePredictor::bind_sites); empty until bound.
+    site_bits: Vec<bool>,
 }
 
 impl ProfilePredictor {
@@ -87,7 +91,42 @@ impl ProfilePredictor {
                 .into_iter()
                 .map(|(pc, (taken, total))| (pc, 2 * taken >= total))
                 .collect(),
+            site_bits: Vec::new(),
         }
+    }
+
+    /// Binds this predictor to a compiled trace's interned sites: the
+    /// frozen per-pc bits are resolved into a dense `SiteId → bit`
+    /// table once, and
+    /// [`predict_update_site`](ProfilePredictor::predict_update_site)
+    /// becomes a single indexed load — no per-branch hashing.
+    pub fn bind_sites(&mut self, resolver: &SiteResolver) {
+        self.site_bits = resolver
+            .site_pcs()
+            .iter()
+            .map(|pc| self.bits.get(pc).copied().unwrap_or(true))
+            .collect();
+    }
+
+    /// [`Predictor::predict_update`] driven by an interned [`SiteId`]:
+    /// the same frozen bit [`predict`](Predictor::predict) would return
+    /// for the site's pc (unseen branches predict taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`bind_sites`](ProfilePredictor::bind_sites) ran
+    /// first (with the resolver of the stream driving this call).
+    #[inline]
+    pub fn predict_update_site(&mut self, site: SiteId, _taken: bool) -> bool {
+        self.site_bits[site as usize]
+    }
+
+    /// The bound per-site frozen bits (see
+    /// [`bind_sites`](ProfilePredictor::bind_sites)). The bits never
+    /// change during a walk, so a gang walk scores a profile lane in
+    /// closed form — per site, not per event.
+    pub fn site_bits(&self) -> &[bool] {
+        &self.site_bits
     }
 
     /// Number of static branches with a frozen prediction bit.

@@ -4,9 +4,10 @@
 use tlat_check::{check, gen, prop_assert_eq, Gen};
 use tlat_core::{
     Ahrt, AnyHrt, Automaton, AutomatonKind, HistoryRegister, HistoryTable, HrtConfig, Ihrt,
-    PatternTable, Predictor, TwoLevelAdaptive, TwoLevelConfig, A2,
+    LeeSmithBtb, LeeSmithConfig, PatternTable, Predictor, SiteResolver, TwoLevelAdaptive,
+    TwoLevelConfig, A2,
 };
-use tlat_trace::BranchRecord;
+use tlat_trace::{BranchRecord, CompiledTrace, Trace};
 
 fn arb_kind() -> Gen<AutomatonKind> {
     gen::choose(&AutomatonKind::ALL)
@@ -193,6 +194,77 @@ fn periodic_patterns_are_learned() {
                     p.update(&b);
                 }
             }
+            Ok(())
+        },
+    );
+}
+
+/// The compiled site-driven path is observably identical to the
+/// record-driven path: same guess at every event and the same final
+/// table stats, for both schemes across every HRT organization and
+/// several geometries (small tables force evictions, so the AHRT's
+/// victim-inheritance and LRU ordering are exercised too).
+#[test]
+fn site_driven_prediction_matches_record_driven_prediction() {
+    let geometries = [
+        HrtConfig::Ideal,
+        HrtConfig::ahrt(512),
+        HrtConfig::Associative {
+            entries: 16,
+            ways: 2,
+        },
+        HrtConfig::hhrt(256),
+        HrtConfig::hhrt(8),
+    ];
+    let inputs = gen::tuple3(
+        gen::choose(&geometries),
+        gen::u8_in(1, 12),
+        gen::vec_of(gen::tuple2(gen::u32_in(0, 63), gen::bools()), 1, 999),
+    );
+    check(
+        "site_driven_prediction_matches_record_driven_prediction",
+        &inputs,
+        |(hrt, bits, stream)| {
+            let mut trace = Trace::new();
+            for &(site, taken) in stream {
+                trace.push(BranchRecord::conditional(0x1000 + site * 4, 0x800, taken));
+            }
+            let compiled = CompiledTrace::compile(&trace);
+            let mut resolver = SiteResolver::new(compiled.site_pcs().to_vec());
+
+            let at_config = TwoLevelConfig {
+                history_bits: *bits,
+                hrt: *hrt,
+                ..TwoLevelConfig::paper_default()
+            };
+            let mut at_records = TwoLevelAdaptive::new(at_config);
+            let mut at_sites = TwoLevelAdaptive::new(at_config);
+            at_sites.bind_sites(&mut resolver);
+
+            let ls_config = LeeSmithConfig {
+                automaton: AutomatonKind::A2,
+                hrt: *hrt,
+            };
+            let mut ls_records = LeeSmithBtb::new(ls_config);
+            let mut ls_sites = LeeSmithBtb::new(ls_config);
+            ls_sites.bind_sites(&mut resolver);
+
+            for (record, (site, taken)) in trace.iter().zip(compiled.events()) {
+                prop_assert_eq!(
+                    at_records.predict_update(record),
+                    at_sites.predict_update_site(site, taken),
+                    "AT diverged at pc {:#x}",
+                    record.pc
+                );
+                prop_assert_eq!(
+                    ls_records.predict_update(record),
+                    ls_sites.predict_update_site(site, taken),
+                    "LS diverged at pc {:#x}",
+                    record.pc
+                );
+            }
+            prop_assert_eq!(at_records.hrt_stats(), at_sites.hrt_stats());
+            prop_assert_eq!(ls_records.table_stats(), ls_sites.table_stats());
             Ok(())
         },
     );

@@ -11,7 +11,7 @@ use crate::config::{SchemeConfig, TrainingData};
 use crate::engine::simulate;
 use crate::error::lock_unpoisoned;
 use crate::faults::Faults;
-use crate::gang::{gang_simulate_isolated, GangLane};
+use crate::gang::{gang_simulate_isolated_precompiled, GangLane};
 use crate::journal::{self, SweepJournal};
 use crate::metrics::{self, CellOutcome, Counter, Phase};
 use crate::stats::SimResult;
@@ -26,7 +26,7 @@ use tlat_core::{
     AutomatonKind, HrtConfig, ProfilePredictor, StaticTraining, StaticTrainingConfig,
     TrainingProfile,
 };
-use tlat_trace::{geometric_mean, BranchClass, InstClass, Trace};
+use tlat_trace::{geometric_mean, BranchClass, CompiledTrace, InstClass, Trace};
 use tlat_workloads::{Workload, WorkloadKind};
 
 /// Memoized training artifacts, shared across every sweep a harness
@@ -45,6 +45,10 @@ struct TrainedCache {
     /// `workload` → trained profiling predictor (always trained on the
     /// test trace; lanes take a clone).
     profilers: HashMap<String, Arc<ProfilePredictor>>,
+    /// `workload` → compiled event stream of its test trace (see
+    /// [`CompiledTrace`]); every gang walk over the workload shares it
+    /// instead of recompiling.
+    compiled: HashMap<String, Arc<CompiledTrace>>,
 }
 
 /// The experiment harness: workloads + shared trace store.
@@ -311,7 +315,8 @@ impl Harness {
                     .collect();
             }
         };
-        let outcomes = gang_simulate_isolated(
+        let compiled = self.compiled_stream(workload, &test);
+        let outcomes = gang_simulate_isolated_precompiled(
             missing.len(),
             |mi| {
                 let ci = missing[mi];
@@ -326,6 +331,7 @@ impl Harness {
                 self.build_lane(&configs[ci], workload, &test)
             },
             &test,
+            Some(&compiled),
         );
         missing
             .iter()
@@ -379,18 +385,42 @@ impl Harness {
                     hrt: *hrt,
                     data: data.label().to_owned(),
                 };
-                Some(GangLane::Dyn(Box::new(StaticTraining::with_profile(
+                Some(GangLane::StaticTraining(StaticTraining::with_profile(
                     st_config, &profile,
-                ))))
+                )))
             }
             SchemeConfig::Profile => {
                 let profiler = self.profiler(workload, test);
-                Some(GangLane::Dyn(Box::new((*profiler).clone())))
+                Some(GangLane::Profile((*profiler).clone()))
             }
             // Every remaining scheme trains nothing, so no training
             // trace is needed here.
             other => Some(GangLane::from_config(other, None)),
         }
+    }
+
+    /// The memoized compiled event stream of a workload's test trace.
+    /// Compiled once per workload per harness; every later gang walk —
+    /// of this sweep or any other — reuses it.
+    fn compiled_stream(&self, workload: &Workload, test: &Arc<Trace>) -> Arc<CompiledTrace> {
+        if let Some(c) = lock_unpoisoned(&self.trained).compiled.get(workload.name) {
+            return Arc::clone(c);
+        }
+        // Compiled outside the lock so concurrent workloads don't
+        // serialize; a racing duplicate compiles the same pure function
+        // and the entry API keeps the first insertion.
+        let compiled = {
+            let _span = metrics::span(Phase::StreamCompile);
+            Arc::new(CompiledTrace::compile(test))
+        };
+        metrics::add(Counter::SitesInterned, compiled.num_sites() as u64);
+        let mut cache = lock_unpoisoned(&self.trained);
+        Arc::clone(
+            cache
+                .compiled
+                .entry(workload.name.to_owned())
+                .or_insert(compiled),
+        )
     }
 
     /// The memoized Static Training profile for a workload. `None` when
@@ -855,6 +885,25 @@ mod tests {
         }
         // The Diff row really does contain not-applicable cells.
         assert!(sequential.contains('—'));
+    }
+
+    #[test]
+    fn fig10_report_is_identical_with_and_without_the_compiled_path() {
+        // ISSUE 5 acceptance: the Figure 10 sweep renders byte-identical
+        // whether lanes ride the compiled event stream (the gang path)
+        // or the per-config reference engine (never compiled).
+        let h = harness();
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::st(HrtConfig::ahrt(512), 12, TrainingData::Same),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::Profile,
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+        ];
+        let title = "Figure 10: comparison of branch prediction schemes";
+        let compiled = h.accuracy_table(title, &configs).to_string();
+        let reference = h.accuracy_table_sequential(title, &configs).to_string();
+        assert_eq!(compiled, reference);
     }
 
     #[test]

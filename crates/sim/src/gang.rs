@@ -7,13 +7,33 @@
 //! interact — so the gang engine walks the trace *once*, feeding every
 //! configuration's predictor in turn from the same hot `BranchRecord`.
 //!
-//! Two further savings fall out:
+//! Five further savings fall out:
 //!
 //! * **Monomorphization** — the common sweep schemes
-//!   ([`TwoLevelAdaptive`], [`LeeSmithBtb`]) run as concrete enum
-//!   variants of [`GangLane`], so their per-branch predict/update is a
-//!   direct (inlinable) call; everything else takes the boxed dyn
-//!   fallback lane.
+//!   ([`TwoLevelAdaptive`], [`LeeSmithBtb`], [`StaticTraining`],
+//!   [`ProfilePredictor`]) run as concrete enum variants of
+//!   [`GangLane`], so their per-branch predict/update is a direct
+//!   (inlinable) call; everything else takes the boxed dyn fallback
+//!   lane.
+//! * **Stream compilation** — when monomorphized lanes are present,
+//!   the trace is lowered once per walk into a site-interned SoA event
+//!   stream ([`CompiledTrace`]) and every lane's table coordinates are
+//!   resolved per static site up front ([`SiteResolver`]), so the hot
+//!   loop does no per-branch set/tag/hash arithmetic and touches ~5
+//!   bytes per event instead of a 16-byte record (see DESIGN.md's
+//!   "Hot-loop anatomy").
+//! * **Shared probe engines** — associative lanes with the same table
+//!   geometry see identical tag/LRU decision sequences, so one
+//!   payload-free [`SlotProbe`] per geometry (built only when two or
+//!   more lanes share it) pays the way scan and victim search once per
+//!   event; each lane applies the replayed slot decision via a direct
+//!   indexed entry access, and the engine's access statistics are
+//!   folded back into every sharing lane once per walk.
+//! * **Closed-form profile scoring** — a profile lane's frozen
+//!   per-site bits never change during a walk, so its score is a
+//!   weighted sum over the compiled stream's per-site taken counts:
+//!   per site, not per event, and identical to event-by-event
+//!   recording.
 //! * **Shared RAS** — return-address-stack behaviour depends only on
 //!   the trace, never on the direction predictor, so the gang simulates
 //!   the RAS once and stamps the same stats into every lane's result.
@@ -27,19 +47,31 @@ use crate::engine::SimOptions;
 use crate::metrics::{self, Counter, Phase};
 use crate::stats::{PredictionStats, SimResult};
 use crate::pool::{catch_cell, CellPanic};
-use tlat_core::{LeeSmithBtb, Predictor, TwoLevelAdaptive};
-use tlat_trace::{BranchClass, BranchRecord, ReturnAddressStack, Trace};
+use std::collections::HashMap;
+use tlat_core::{
+    HrtConfig, LeeSmithBtb, Predictor, ProfilePredictor, SiteResolver, SlotProbe, StaticTraining,
+    StaticTrainingConfig, TwoLevelAdaptive,
+};
+use tlat_trace::{
+    BranchClass, BranchRecord, CompiledTrace, RasEvent, ReturnAddressStack, Trace,
+};
 
 /// One predictor riding a gang walk.
 ///
 /// The concrete variants exist purely so the per-branch inner loop can
-/// call them without dynamic dispatch; [`GangLane::Dyn`] carries every
-/// other scheme.
+/// call them without dynamic dispatch (and, on the compiled stream,
+/// with site-resolved table coordinates); [`GangLane::Dyn`] carries
+/// every other scheme.
 pub enum GangLane {
     /// The paper's Two-Level Adaptive Training scheme, monomorphized.
     TwoLevel(TwoLevelAdaptive),
     /// The Lee & Smith BTB scheme, monomorphized.
     LeeSmith(LeeSmithBtb),
+    /// Lee & Smith's Static Training scheme, monomorphized.
+    StaticTraining(StaticTraining),
+    /// The §4.2 profiling scheme, monomorphized (its frozen per-branch
+    /// bits resolve to a dense per-site table on the compiled stream).
+    Profile(ProfilePredictor),
     /// Any other predictor, behind the usual trait object.
     Dyn(Box<dyn Predictor>),
 }
@@ -62,6 +94,25 @@ impl GangLane {
         match config {
             SchemeConfig::TwoLevel(c) => GangLane::TwoLevel(TwoLevelAdaptive::new(*c)),
             SchemeConfig::LeeSmith(c) => GangLane::LeeSmith(LeeSmithBtb::new(*c)),
+            SchemeConfig::StaticTraining {
+                history_bits,
+                hrt,
+                data,
+            } => {
+                let trace = training.expect("Static Training requires a training trace");
+                GangLane::StaticTraining(StaticTraining::train(
+                    StaticTrainingConfig {
+                        history_bits: *history_bits,
+                        hrt: *hrt,
+                        data: data.label().to_owned(),
+                    },
+                    trace,
+                ))
+            }
+            SchemeConfig::Profile => {
+                let trace = training.expect("profiling requires a training trace");
+                GangLane::Profile(ProfilePredictor::train(trace))
+            }
             other => GangLane::Dyn(other.build(training)),
         }
     }
@@ -71,6 +122,8 @@ impl GangLane {
         match self {
             GangLane::TwoLevel(p) => p.name(),
             GangLane::LeeSmith(p) => p.name(),
+            GangLane::StaticTraining(p) => p.name(),
+            GangLane::Profile(p) => p.name(),
             GangLane::Dyn(p) => p.name(),
         }
     }
@@ -83,7 +136,22 @@ impl GangLane {
         match self {
             GangLane::TwoLevel(p) => p.predict_update(branch),
             GangLane::LeeSmith(p) => p.predict_update(branch),
+            GangLane::StaticTraining(p) => p.predict_update(branch),
+            GangLane::Profile(p) => p.predict_update(branch),
             GangLane::Dyn(p) => p.predict_update(branch),
+        }
+    }
+
+    /// The lane's history-table organization, for monomorphized lanes
+    /// that probe one (`None` for Profile and dyn lanes). Lanes sharing
+    /// an associative organization share a [`SlotProbe`] during a
+    /// compiled walk.
+    fn hrt_config(&self) -> Option<HrtConfig> {
+        match self {
+            GangLane::TwoLevel(p) => Some(p.config().hrt),
+            GangLane::LeeSmith(p) => Some(p.config().hrt),
+            GangLane::StaticTraining(p) => Some(p.config().hrt),
+            GangLane::Profile(_) | GangLane::Dyn(_) => None,
         }
     }
 }
@@ -100,7 +168,227 @@ pub fn gang_simulate(lanes: &mut [GangLane], trace: &Trace) -> Vec<SimResult> {
 /// every lane before the walk advances; returns and calls drive one
 /// shared return-address stack whose stats are replicated into every
 /// result (RAS behaviour is predictor-independent).
+///
+/// When any monomorphized lane is present the walk runs over a
+/// *compiled* event stream: the trace is lowered once per walk into
+/// site-interned SoA form ([`CompiledTrace`]), every [`SiteId`]'s table
+/// coordinates are resolved once per geometry ([`SiteResolver`]), and
+/// the hot loop feeds lanes through
+/// [`TwoLevelAdaptive::predict_update_site`] /
+/// [`LeeSmithBtb::predict_update_site`] — no per-branch set/tag/hash
+/// arithmetic, 5 bytes of stream per event instead of a 16-byte
+/// record. Dyn lanes still consume raw records. Results are
+/// bit-identical to [`gang_simulate_records`], which is pinned by
+/// tests and kept as the reference walk.
+///
+/// [`SiteId`]: tlat_trace::SiteId
 pub fn gang_simulate_with(
+    lanes: &mut [GangLane],
+    trace: &Trace,
+    options: SimOptions,
+) -> Vec<SimResult> {
+    let any_compiled = lanes
+        .iter()
+        .any(|lane| !matches!(lane, GangLane::Dyn(_)));
+    if !any_compiled {
+        return gang_simulate_records(lanes, trace, options);
+    }
+    let compiled = {
+        let _span = metrics::span(Phase::StreamCompile);
+        CompiledTrace::compile(trace)
+    };
+    metrics::add(Counter::SitesInterned, compiled.num_sites() as u64);
+    gang_simulate_precompiled(lanes, trace, &compiled, options)
+}
+
+/// [`gang_simulate_with`] over an already-compiled event stream.
+///
+/// `compiled` must be the compilation of `trace` (the harness memoizes
+/// one per workload, so repeated sweeps over the same workload skip the
+/// compile pass entirely). Dyn-only gangs still take the record walk.
+pub fn gang_simulate_precompiled(
+    lanes: &mut [GangLane],
+    trace: &Trace,
+    compiled: &CompiledTrace,
+    options: SimOptions,
+) -> Vec<SimResult> {
+    let any_compiled = lanes
+        .iter()
+        .any(|lane| !matches!(lane, GangLane::Dyn(_)));
+    if !any_compiled {
+        return gang_simulate_records(lanes, trace, options);
+    }
+    metrics::bump(Counter::TraceWalks);
+    let mut resolver = SiteResolver::new(compiled.site_pcs().to_vec());
+    let _span = metrics::span(Phase::GangWalk);
+    let mut stats = vec![PredictionStats::default(); lanes.len()];
+    // Lanes sharing a set-associative geometry see the same access
+    // sequence from the same pre-warmed state, so their tag/LRU
+    // decisions are byte-identical on every event: one SlotProbe per
+    // such geometry pays the way scan once and replays the decision to
+    // the whole group ([`tlat_core::AnyHrt::slot_entry`]). A geometry
+    // probed by a single lane keeps the plain site path — sharing
+    // saves nothing there.
+    let mut geometry_lanes: HashMap<HrtConfig, usize> = HashMap::new();
+    for lane in lanes.iter() {
+        if let Some(cfg @ HrtConfig::Associative { .. }) = lane.hrt_config() {
+            *geometry_lanes.entry(cfg).or_insert(0) += 1;
+        }
+    }
+    let mut engines: Vec<SlotProbe> = Vec::new();
+    let mut engine_of: HashMap<HrtConfig, usize> = HashMap::new();
+    let mut engine_for = |cfg: Option<HrtConfig>, resolver: &mut SiteResolver| -> Option<usize> {
+        let cfg = cfg?;
+        if geometry_lanes.get(&cfg).copied().unwrap_or(0) < 2 {
+            return None;
+        }
+        Some(*engine_of.entry(cfg).or_insert_with(|| {
+            engines.push(SlotProbe::build(cfg, resolver).expect("geometry is associative"));
+            engines.len() - 1
+        }))
+    };
+    // Partition once so the per-event loops are free of lane-kind
+    // dispatch: each group's calls are direct and the dyn pass runs
+    // only when dyn lanes exist. Slot-path groups carry the index of
+    // their geometry's shared probe engine.
+    let mut at_lanes: Vec<(&mut TwoLevelAdaptive, &mut PredictionStats)> = Vec::new();
+    let mut ls_lanes: Vec<(&mut LeeSmithBtb, &mut PredictionStats)> = Vec::new();
+    let mut st_lanes: Vec<(&mut StaticTraining, &mut PredictionStats)> = Vec::new();
+    let mut at_slots: Vec<(usize, &mut TwoLevelAdaptive, &mut PredictionStats)> = Vec::new();
+    let mut ls_slots: Vec<(usize, &mut LeeSmithBtb, &mut PredictionStats)> = Vec::new();
+    let mut st_slots: Vec<(usize, &mut StaticTraining, &mut PredictionStats)> = Vec::new();
+    let mut prof_lanes: Vec<(&mut ProfilePredictor, &mut PredictionStats)> = Vec::new();
+    let mut dyn_lanes: Vec<(&mut Box<dyn Predictor>, &mut PredictionStats)> = Vec::new();
+    for (lane, stat) in lanes.iter_mut().zip(stats.iter_mut()) {
+        let shared = engine_for(lane.hrt_config(), &mut resolver);
+        match lane {
+            GangLane::TwoLevel(p) => match shared {
+                Some(ei) => at_slots.push((ei, p, stat)),
+                None => {
+                    p.bind_sites(&mut resolver);
+                    at_lanes.push((p, stat));
+                }
+            },
+            GangLane::LeeSmith(p) => match shared {
+                Some(ei) => ls_slots.push((ei, p, stat)),
+                None => {
+                    p.bind_sites(&mut resolver);
+                    ls_lanes.push((p, stat));
+                }
+            },
+            GangLane::StaticTraining(p) => match shared {
+                Some(ei) => st_slots.push((ei, p, stat)),
+                None => {
+                    p.bind_sites(&mut resolver);
+                    st_lanes.push((p, stat));
+                }
+            },
+            GangLane::Profile(p) => {
+                p.bind_sites(&resolver);
+                prof_lanes.push((p, stat));
+            }
+            GangLane::Dyn(p) => dyn_lanes.push((p, stat)),
+        }
+    }
+    // Event-major order: the `(site, taken)` decode and the per-
+    // geometry probes are paid once per event and amortized over every
+    // lane (the tables of a paper-sized sweep are small enough to stay
+    // cache-resident across lanes). Lanes never interact, so any
+    // event-vs-lane loop order is observably identical.
+    let mut probes = vec![
+        tlat_core::Probe {
+            slot: 0,
+            outcome: tlat_core::ProbeOutcome::Hit,
+        };
+        engines.len()
+    ];
+    for (site, taken) in compiled.events() {
+        for (engine, probe) in engines.iter_mut().zip(probes.iter_mut()) {
+            *probe = engine.step(site);
+        }
+        for (ei, p, stat) in &mut at_slots {
+            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+        }
+        for (ei, p, stat) in &mut ls_slots {
+            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+        }
+        for (ei, p, stat) in &mut st_slots {
+            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+        }
+        for (p, stat) in &mut at_lanes {
+            stat.record(p.predict_update_site(site, taken) == taken);
+        }
+        for (p, stat) in &mut ls_lanes {
+            stat.record(p.predict_update_site(site, taken) == taken);
+        }
+        for (p, stat) in &mut st_lanes {
+            stat.record(p.predict_update_site(site, taken) == taken);
+        }
+    }
+    // Slot-path lanes skipped their own per-event access accounting;
+    // the shared engine counted the group's (identical) statistics
+    // once — fold them back so every lane reports what per-lane
+    // probing would have.
+    for (ei, p, _) in &mut at_slots {
+        p.adopt_probe_stats(engines[*ei].stats());
+    }
+    for (ei, p, _) in &mut ls_slots {
+        p.adopt_probe_stats(engines[*ei].stats());
+    }
+    for (ei, p, _) in &mut st_slots {
+        p.adopt_probe_stats(engines[*ei].stats());
+    }
+    // A profile lane's bits are frozen, so its score over the stream
+    // is a per-site weighted sum — identical to recording every event,
+    // with no per-event work at all.
+    for (p, stat) in &mut prof_lanes {
+        for ((&bit, &taken_n), &n) in p
+            .site_bits()
+            .iter()
+            .zip(compiled.site_taken())
+            .zip(compiled.site_counts())
+        {
+            stat.predicted += n;
+            stat.correct += if bit { taken_n } else { n - taken_n };
+        }
+    }
+    // Dyn lanes take the record stream they have always seen; a lane
+    // observes only its own predict/update sequence, so feeding them in
+    // a second pass changes nothing for any lane.
+    if !dyn_lanes.is_empty() {
+        for branch in trace.iter() {
+            if !matches!(branch.class, BranchClass::Conditional) {
+                continue;
+            }
+            for (p, stat) in &mut dyn_lanes {
+                stat.record(p.predict_update(branch) == branch.taken);
+            }
+        }
+    }
+    // The RAS is predictor-independent; the compiler carried its
+    // push/verify events in record order.
+    let mut ras = ReturnAddressStack::new(options.ras_entries.max(1));
+    for event in compiled.ras_events() {
+        match *event {
+            RasEvent::Verify { target } => {
+                ras.predict_and_verify(target);
+            }
+            RasEvent::Push { return_addr } => ras.push(return_addr),
+        }
+    }
+    let ras = ras.stats();
+    stats
+        .into_iter()
+        .map(|conditional| SimResult { conditional, ras })
+        .collect()
+}
+
+/// The reference gang walk: every lane — monomorphized or dyn — is fed
+/// straight from the raw [`BranchRecord`] stream, with no compile
+/// step. [`gang_simulate_with`] must stay bit-identical to this
+/// function (pinned by tests); the `gang_inner` micro-benchmark
+/// measures the two walks against each other.
+pub fn gang_simulate_records(
     lanes: &mut [GangLane],
     trace: &Trace,
     options: SimOptions,
@@ -162,6 +450,26 @@ pub fn gang_simulate_isolated<F>(n_lanes: usize, build: F, trace: &Trace) -> Vec
 where
     F: Fn(usize) -> Option<GangLane>,
 {
+    gang_simulate_isolated_precompiled(n_lanes, build, trace, None)
+}
+
+/// [`gang_simulate_isolated`] with an optional pre-compiled event
+/// stream for `trace` (see [`gang_simulate_precompiled`]); the harness
+/// passes its per-workload memoized stream here so repeated sweeps
+/// never recompile.
+pub fn gang_simulate_isolated_precompiled<F>(
+    n_lanes: usize,
+    build: F,
+    trace: &Trace,
+    compiled: Option<&CompiledTrace>,
+) -> Vec<IsolatedLane>
+where
+    F: Fn(usize) -> Option<GangLane>,
+{
+    let walk = |lanes: &mut [GangLane]| match compiled {
+        Some(stream) => gang_simulate_precompiled(lanes, trace, stream, SimOptions::default()),
+        None => gang_simulate_with(lanes, trace, SimOptions::default()),
+    };
     let mut outcomes: Vec<IsolatedLane> = Vec::with_capacity(n_lanes);
     let mut lanes: Vec<GangLane> = Vec::new();
     let mut lane_of: Vec<usize> = Vec::new();
@@ -176,7 +484,7 @@ where
             Err(panic) => outcomes.push(Some(Err(panic))),
         }
     }
-    match catch_cell(|| gang_simulate(&mut lanes, trace)) {
+    match catch_cell(|| walk(&mut lanes)) {
         Ok(results) => {
             for (li, result) in results.into_iter().enumerate() {
                 outcomes[lane_of[li]] = Some(Ok(result));
@@ -193,7 +501,7 @@ where
                 outcomes[i] = match catch_cell(|| {
                     build(i).map(|lane| {
                         let mut solo = [lane];
-                        gang_simulate(&mut solo, trace)
+                        walk(&mut solo)
                             .pop()
                             .expect("one lane in, one result out")
                     })
@@ -249,6 +557,77 @@ mod tests {
     }
 
     #[test]
+    fn compiled_walk_matches_record_walk_bit_for_bit() {
+        // The tentpole identity: the compiled event-stream inner loop
+        // must be observably indistinguishable from the raw-record
+        // reference walk, for every lane kind at once.
+        let trace = SyntheticStream::mixed(0xc0de, 64).generate(8_000);
+        let options = SimOptions { ras_entries: 8 };
+        let configs = sweep();
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn compiled_walk_covers_every_hrt_organization() {
+        let trace = SyntheticStream::mixed(0xfeed, 96).generate(6_000);
+        let options = SimOptions::default();
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::Ideal, 10, AutomatonKind::A2),
+            SchemeConfig::at(HrtConfig::ahrt(64), 8, AutomatonKind::A3),
+            SchemeConfig::at(HrtConfig::hhrt(32), 6, AutomatonKind::LastTime),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(32), AutomatonKind::A4),
+            SchemeConfig::ls(HrtConfig::hhrt(64), AutomatonKind::LastTime),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn dyn_only_gangs_take_the_record_path_unchanged() {
+        let trace = SyntheticStream::mixed(0xd1, 16).generate(2_000);
+        let configs = vec![SchemeConfig::Btfn, SchemeConfig::AlwaysTaken];
+        let mut a: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut b: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let via_with = gang_simulate_with(&mut a, &trace, SimOptions::default());
+        let via_records = gang_simulate_records(&mut b, &trace, SimOptions::default());
+        for (x, y) in via_with.iter().zip(&via_records) {
+            assert_eq!(x.conditional, y.conditional);
+            assert_eq!(x.ras, y.ras);
+        }
+    }
+
+    #[test]
     fn monomorphized_lanes_are_used_for_the_common_schemes() {
         let configs = sweep();
         let lanes: Vec<GangLane> = configs
@@ -257,10 +636,14 @@ mod tests {
             .collect();
         assert!(matches!(lanes[0], GangLane::TwoLevel(_)));
         assert!(matches!(lanes[1], GangLane::LeeSmith(_)));
-        assert!(matches!(lanes[2], GangLane::Dyn(_)));
+        assert!(matches!(lanes[2], GangLane::StaticTraining(_)));
+        assert!(matches!(lanes[3], GangLane::Dyn(_))); // BTFN
+        assert!(matches!(lanes[4], GangLane::Profile(_)));
         // Lane names still come through for diagnostics.
         assert!(lanes[0].name().starts_with("AT("));
         assert!(format!("{:?}", lanes[1]).contains("LS("));
+        assert!(lanes[2].name().starts_with("ST("));
+        assert_eq!(lanes[4].name(), "Profile");
     }
 
     #[test]

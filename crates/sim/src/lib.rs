@@ -75,7 +75,10 @@ pub use error::SimError;
 pub use experiment::Harness;
 pub use faults::Faults;
 pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
-pub use gang::{gang_simulate, gang_simulate_isolated, gang_simulate_with, GangLane};
+pub use gang::{
+    gang_simulate, gang_simulate_isolated, gang_simulate_isolated_precompiled,
+    gang_simulate_precompiled, gang_simulate_records, gang_simulate_with, GangLane,
+};
 pub use journal::SweepJournal;
 pub use stats::{PredictionStats, SimResult};
 pub use pool::{run_isolated, threads_from_env, CellPanic};

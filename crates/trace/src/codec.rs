@@ -102,12 +102,19 @@ pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
     }
     let len = input.get_u64_le() as usize;
     let record_bytes = if has_gaps { 13 } else { 9 };
-    let mut trace = Trace::with_capacity(len.min(1 << 24));
-    let mut gaps = Vec::with_capacity(len.min(1 << 24));
+    // Check the whole declared body up front: a hostile or corrupt
+    // header cannot drive an over-allocation (the count must be backed
+    // by actual bytes), and the honest case pre-sizes both vectors
+    // exactly — no growth reallocations mid-decode.
+    let body = len
+        .checked_mul(record_bytes)
+        .ok_or(DecodeError::Truncated)?;
+    if input.remaining() < body {
+        return Err(DecodeError::Truncated);
+    }
+    let mut trace = Trace::with_capacity(len);
+    let mut gaps = Vec::with_capacity(len);
     for index in 0..len {
-        if input.remaining() < record_bytes {
-            return Err(DecodeError::Truncated);
-        }
         match BranchRecord::decode_from(&mut input) {
             Some(record) => trace.push(record),
             None => return Err(DecodeError::BadRecord { index }),

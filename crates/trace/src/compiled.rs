@@ -1,0 +1,432 @@
+//! The compiled event stream: a trace pre-digested for gang walks.
+//!
+//! A sweep's hot loop walks one trace through ~45 predictor lanes, and
+//! each lane re-derives *where* every branch lives in its history table
+//! from the raw 16-byte [`BranchRecord`] — an AoS stream four times
+//! wider than the bits the inner loop actually reads. Compiling the
+//! trace once per walk removes both costs:
+//!
+//! * every static conditional-branch pc is interned into a dense
+//!   [`SiteId`] (first-appearance order), so per-lane table lookups can
+//!   be resolved by index instead of hashing/dividing the pc — once per
+//!   trace, not once per lane per branch;
+//! * the conditional events are re-emitted as SoA: site ids in one
+//!   `Vec<u32>` and outcomes as a packed bitvec, so the inner loop
+//!   streams 4 bytes + 1 bit per event.
+//!
+//! Returns, calls, and instruction gaps are carried alongside (as
+//! [`RasEvent`]s and a gap vector) for the shared return-address-stack
+//! and timing paths, so a walk never needs the original trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use tlat_trace::{BranchRecord, CompiledTrace, Trace};
+//!
+//! let mut t = Trace::new();
+//! t.push(BranchRecord::conditional(0x1000, 0x0f00, true));
+//! t.push(BranchRecord::conditional(0x2000, 0x0f00, false));
+//! t.push(BranchRecord::conditional(0x1000, 0x0f00, false));
+//! let c = CompiledTrace::compile(&t);
+//! assert_eq!(c.num_sites(), 2); // two static branches
+//! let events: Vec<_> = c.events().collect();
+//! assert_eq!(events, vec![(0, true), (1, false), (0, false)]);
+//! ```
+
+use crate::branch::BranchClass;
+use crate::trace::Trace;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the pc-interning map.
+///
+/// Compilation does one map lookup per dynamic conditional branch, and
+/// with std's default (SipHash) that single lookup costs more than the
+/// rest of the compile pass combined. The keys are 4-aligned u32 pcs —
+/// no adversarial input — so a Fibonacci multiply with a high-to-low
+/// fold (the low bits pick the bucket, and a bare multiply leaves them
+/// dependent only on the low, always-zero key bits) is plenty.
+#[derive(Default)]
+struct PcHasher(u64);
+
+impl Hasher for PcHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u32(u32::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        let m = (u64::from(n) ^ self.0).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = m ^ (m >> 32);
+    }
+}
+
+type PcMap = HashMap<u32, SiteId, BuildHasherDefault<PcHasher>>;
+
+/// Dense id of one static conditional branch within a compiled trace,
+/// assigned in first-appearance order (the first distinct pc is site 0,
+/// the next new pc site 1, and so on).
+pub type SiteId = u32;
+
+/// A packed bit vector (one `u64` word per 64 bits).
+///
+/// Backs the outcome stream of a [`CompiledTrace`]; public because the
+/// simulator's inner loop reads it directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An empty bit vector.
+    pub fn new() -> Self {
+        PackedBits::default()
+    }
+
+    /// An empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        PackedBits {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= (bit as u64) << (self.len % 64);
+        self.len += 1;
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range");
+        (self.words[index / 64] >> (index % 64)) & 1 != 0
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates every bit in order, streaming one word load per 64
+    /// bits (the hot-loop path; [`get`](PackedBits::get) re-derives
+    /// the word per call).
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.words
+            .iter()
+            .flat_map(|&word| (0..64).map(move |bit| (word >> bit) & 1 != 0))
+            .take(self.len)
+    }
+}
+
+/// One return-address-stack event, in trace order.
+///
+/// RAS behaviour depends only on the trace — never on the direction
+/// predictor — so the compiled stream separates these events from the
+/// conditional stream and a walk drives the shared stack from them
+/// alone. A subroutine return that is itself a call (both flags set on
+/// one record) emits its [`RasEvent::Verify`] before its
+/// [`RasEvent::Push`], matching the record walk's order exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RasEvent {
+    /// A subroutine return: pop-and-check the stack against the actual
+    /// target.
+    Verify {
+        /// The return's actual target address.
+        target: u32,
+    },
+    /// A subroutine call: push the return address.
+    Push {
+        /// The call's fall-through (return) address.
+        return_addr: u32,
+    },
+}
+
+/// A trace compiled for the gang hot loop: interned conditional sites,
+/// SoA outcome stream, RAS events, and instruction gaps.
+///
+/// Compilation is a single pass over the trace; see the module docs for
+/// why. The stream is self-contained — every consumer a gang walk has
+/// (predictor lanes, the shared RAS, timing) reads from here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompiledTrace {
+    /// `SiteId → pc`, in first-appearance order.
+    site_pcs: Vec<u32>,
+    /// One interned site id per dynamic conditional branch.
+    cond_sites: Vec<SiteId>,
+    /// One outcome bit per dynamic conditional branch (parallel to
+    /// `cond_sites`).
+    outcomes: PackedBits,
+    /// Return/call events, in trace order.
+    ras: Vec<RasEvent>,
+    /// Non-branch instructions before each branch record (a copy of
+    /// [`Trace::gaps`], for timing paths).
+    gaps: Vec<u32>,
+    /// `SiteId → number of taken outcomes` over the stream.
+    site_taken: Vec<u64>,
+    /// `SiteId → number of dynamic executions` over the stream. With
+    /// `site_taken`, the closed-form inputs for frozen per-site
+    /// predictors: a profile lane's score is a weighted sum over
+    /// sites, not a walk.
+    site_counts: Vec<u64>,
+}
+
+impl CompiledTrace {
+    /// Compiles `trace` in one pass: interns conditional sites and
+    /// splits the record stream into the SoA conditional stream and the
+    /// RAS event stream.
+    pub fn compile(trace: &Trace) -> Self {
+        let n_cond = trace.conditional_len() as usize;
+        let mut intern = PcMap::default();
+        let mut compiled = CompiledTrace {
+            site_pcs: Vec::new(),
+            cond_sites: Vec::with_capacity(n_cond),
+            outcomes: PackedBits::with_capacity(n_cond),
+            ras: Vec::new(),
+            gaps: trace.gaps().to_vec(),
+            site_taken: Vec::new(),
+            site_counts: Vec::new(),
+        };
+        for branch in trace.iter() {
+            match branch.class {
+                BranchClass::Conditional => {
+                    let next = compiled.site_pcs.len() as SiteId;
+                    let site = *intern.entry(branch.pc).or_insert(next);
+                    if site == next {
+                        compiled.site_pcs.push(branch.pc);
+                        compiled.site_taken.push(0);
+                        compiled.site_counts.push(0);
+                    }
+                    compiled.site_taken[site as usize] += branch.taken as u64;
+                    compiled.site_counts[site as usize] += 1;
+                    compiled.cond_sites.push(site);
+                    compiled.outcomes.push(branch.taken);
+                }
+                BranchClass::Return => {
+                    compiled.ras.push(RasEvent::Verify {
+                        target: branch.target,
+                    });
+                }
+                _ => {}
+            }
+            if branch.call {
+                compiled.ras.push(RasEvent::Push {
+                    return_addr: branch.fall_through(),
+                });
+            }
+        }
+        compiled
+    }
+
+    /// Number of distinct static conditional branches (interned sites).
+    pub fn num_sites(&self) -> usize {
+        self.site_pcs.len()
+    }
+
+    /// `SiteId → pc`, in first-appearance order.
+    pub fn site_pcs(&self) -> &[u32] {
+        &self.site_pcs
+    }
+
+    /// The interned site of each dynamic conditional branch, in trace
+    /// order.
+    pub fn cond_sites(&self) -> &[SiteId] {
+        &self.cond_sites
+    }
+
+    /// The outcome of each dynamic conditional branch (parallel to
+    /// [`CompiledTrace::cond_sites`]).
+    pub fn outcomes(&self) -> &PackedBits {
+        &self.outcomes
+    }
+
+    /// Number of dynamic conditional branches in the stream.
+    pub fn len(&self) -> usize {
+        self.cond_sites.len()
+    }
+
+    /// `true` when the stream has no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.cond_sites.is_empty()
+    }
+
+    /// The return/call events, in trace order.
+    pub fn ras_events(&self) -> &[RasEvent] {
+        &self.ras
+    }
+
+    /// Non-branch instruction gaps, one per original branch record.
+    pub fn gaps(&self) -> &[u32] {
+        &self.gaps
+    }
+
+    /// `SiteId → number of taken outcomes` over the stream.
+    pub fn site_taken(&self) -> &[u64] {
+        &self.site_taken
+    }
+
+    /// `SiteId → number of dynamic executions` over the stream
+    /// (parallel to [`CompiledTrace::site_taken`]).
+    pub fn site_counts(&self) -> &[u64] {
+        &self.site_counts
+    }
+
+    /// Iterates the conditional stream as `(site, taken)` pairs.
+    pub fn events(&self) -> impl Iterator<Item = (SiteId, bool)> + '_ {
+        self.cond_sites
+            .iter()
+            .zip(self.outcomes.iter())
+            .map(|(&site, taken)| (site, taken))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchRecord;
+
+    #[test]
+    fn packed_bits_round_trip() {
+        let mut bits = PackedBits::new();
+        assert!(bits.is_empty());
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            bits.push(b);
+        }
+        assert_eq!(bits.len(), 200);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bits.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_bits_bounds_checked() {
+        PackedBits::new().get(0);
+    }
+
+    #[test]
+    fn sites_are_interned_in_first_appearance_order() {
+        let mut t = Trace::new();
+        for &(pc, taken) in &[
+            (0x3000u32, true),
+            (0x1000, false),
+            (0x3000, false),
+            (0x2000, true),
+            (0x1000, true),
+        ] {
+            t.push(BranchRecord::conditional(pc, 0x800, taken));
+        }
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.site_pcs(), &[0x3000, 0x1000, 0x2000]);
+        assert_eq!(c.cond_sites(), &[0, 1, 0, 2, 1]);
+        let outcomes: Vec<bool> = (0..c.len()).map(|i| c.outcomes().get(i)).collect();
+        assert_eq!(outcomes, vec![true, false, false, true, true]);
+    }
+
+    #[test]
+    fn a_fresh_site_always_equals_the_intern_count_so_far() {
+        // The invariant the site-indexed IHRT fast path relies on: when
+        // a site first appears in the event stream, its id equals the
+        // number of sites interned before it.
+        let mut t = Trace::new();
+        let mut x = 0x2468_ace0u64;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pc = 0x1000 + ((x >> 33) as u32 % 97) * 4;
+            t.push(BranchRecord::conditional(pc, 0x800, x & 1 == 0));
+        }
+        let c = CompiledTrace::compile(&t);
+        let mut seen = 0u32;
+        for (site, _) in c.events() {
+            if site == seen {
+                seen += 1;
+            }
+            assert!(site < seen, "site {site} appeared before being interned");
+        }
+        assert_eq!(seen as usize, c.num_sites());
+    }
+
+    #[test]
+    fn ras_events_preserve_record_order() {
+        let mut t = Trace::new();
+        t.push(BranchRecord::call_imm(0x1000, 0x4000)); // push 0x1004
+        t.push(BranchRecord::conditional(0x4000, 0x4800, true));
+        t.push(BranchRecord::subroutine_return(0x4004, 0x1004)); // verify
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(
+            c.ras_events(),
+            &[
+                RasEvent::Push {
+                    return_addr: 0x1004
+                },
+                RasEvent::Verify { target: 0x1004 },
+            ]
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn a_return_that_is_also_a_call_verifies_before_pushing() {
+        let mut t = Trace::new();
+        t.push(BranchRecord {
+            pc: 0x1000,
+            target: 0x2000,
+            class: BranchClass::Return,
+            taken: true,
+            call: true,
+        });
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(
+            c.ras_events(),
+            &[
+                RasEvent::Verify { target: 0x2000 },
+                RasEvent::Push {
+                    return_addr: 0x1004
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn gaps_are_carried_through() {
+        use crate::branch::InstClass;
+        let mut t = Trace::new();
+        t.count_instruction(InstClass::IntAlu);
+        t.count_instruction(InstClass::Mem);
+        t.push(BranchRecord::conditional(0x10, 0x20, true));
+        t.push(BranchRecord::subroutine_return(0x30, 0x14));
+        let c = CompiledTrace::compile(&t);
+        assert_eq!(c.gaps(), t.gaps());
+    }
+
+    #[test]
+    fn empty_trace_compiles_to_empty_stream() {
+        let c = CompiledTrace::compile(&Trace::new());
+        assert!(c.is_empty());
+        assert_eq!(c.num_sites(), 0);
+        assert!(c.ras_events().is_empty());
+    }
+}

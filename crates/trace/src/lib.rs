@@ -17,6 +17,9 @@
 //!   class distribution, taken rate) backing Table 1 and Figures 3–4.
 //! * [`ReturnAddressStack`] — the return-address predictor the paper uses
 //!   for subroutine-return branches.
+//! * [`CompiledTrace`] — a trace pre-digested for gang walks: interned
+//!   conditional-branch sites ([`SiteId`]), SoA outcome stream, and RAS
+//!   events.
 //! * [`codec`] — a compact binary serialization of traces.
 //! * [`cursor`] — the std-only byte cursor behind the codec.
 //! * [`json`] — hand-rolled JSON serialization ([`json::ToJson`]) used
@@ -40,6 +43,7 @@
 
 mod branch;
 pub mod codec;
+mod compiled;
 pub mod cursor;
 pub mod json;
 mod ras;
@@ -48,6 +52,7 @@ mod stats;
 mod trace;
 
 pub use branch::{BranchClass, BranchRecord, InstClass, Outcome};
+pub use compiled::{CompiledTrace, PackedBits, RasEvent, SiteId};
 pub use ras::{RasStats, ReturnAddressStack};
 pub use sink::{CountingSink, LimitSink, TraceSink};
 pub use stats::{geometric_mean, ClassDistribution, InstMix, TraceStats};

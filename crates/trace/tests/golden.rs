@@ -113,6 +113,47 @@ fn declared_length_longer_than_payload_is_truncated() {
     assert_eq!(codec::decode(&bytes), Err(DecodeError::Truncated));
 }
 
+/// A complete v2 header declaring one record with an empty body. The
+/// decoder checks the whole declared body length before allocating, so
+/// this is `Truncated` — pinned as bytes because the up-front check is
+/// what lets decode pre-size its vectors from the header count.
+#[rustfmt::skip]
+const GOLDEN_V2_EMPTY_BODY: &[u8] = &[
+    b'T', b'L', b'A', b'2',
+    0, 0, 0, 0, 0, 0, 0, 0,             // IntAlu = 0
+    0, 0, 0, 0, 0, 0, 0, 0,             // FpAlu  = 0
+    0, 0, 0, 0, 0, 0, 0, 0,             // Mem    = 0
+    0, 0, 0, 0, 0, 0, 0, 0,             // Branch = 0
+    0, 0, 0, 0, 0, 0, 0, 0,             // Other  = 0
+    1, 0, 0, 0, 0, 0, 0, 0,             // claims 1 record, body absent
+];
+
+#[test]
+fn empty_body_header_is_truncated_not_an_allocation() {
+    assert_eq!(
+        codec::decode(GOLDEN_V2_EMPTY_BODY),
+        Err(DecodeError::Truncated)
+    );
+    // The same header honestly declaring zero records is a valid empty
+    // trace.
+    let mut zero = GOLDEN_V2_EMPTY_BODY.to_vec();
+    zero[44] = 0;
+    let t = codec::decode(&zero).unwrap();
+    assert!(t.is_empty());
+    assert_eq!(t.gaps(), &[] as &[u32]);
+}
+
+#[test]
+fn absurd_declared_length_is_rejected_before_allocating() {
+    // u64::MAX records cannot be backed by any input; the decoder must
+    // refuse without attempting a with_capacity of that size.
+    let mut bytes = GOLDEN_V2_EMPTY_BODY.to_vec();
+    for b in &mut bytes[44..52] {
+        *b = 0xff;
+    }
+    assert_eq!(codec::decode(&bytes), Err(DecodeError::Truncated));
+}
+
 #[test]
 fn bad_record_reports_index() {
     // Class code 4 (flags low bits) does not exist.

@@ -38,6 +38,17 @@ cargo bench -q --offline -p tlat-bench --bench sweep -- --test \
     exit 1
 }
 
+# Gang inner-loop bench smoke: the compiled event-stream walk vs the
+# raw-record reference walk must both run (and emit BENCHJSON) under
+# smoke mode. Capture the full output before grepping: `grep -q` on a
+# live pipe exits at first match and the bench would die on SIGPIPE
+# printing its remaining lines.
+gang_inner_out=$(cargo bench -q --offline -p tlat-bench --bench gang_inner -- --test)
+grep -q '^BENCHJSON .*inner_compiled_walk' <<<"$gang_inner_out" || {
+    echo "error: gang_inner bench emitted no compiled-walk BENCHJSON line" >&2
+    exit 1
+}
+
 # Concurrency discipline: every thread fan-out in crates/sim must go
 # through the bounded worker pool (crates/sim/src/pool.rs); a bare
 # scope.spawn elsewhere bypasses the TLAT_THREADS bound.
