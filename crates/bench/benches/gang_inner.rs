@@ -8,9 +8,13 @@
 //! matching the harness (which memoizes one [`CompiledTrace`] per
 //! workload); the once-per-workload compile cost is reported separately
 //! as `stream_compile`. Run with `cargo bench --bench gang_inner`;
-//! three BENCHJSON lines are emitted (`inner_record_walk`,
-//! `inner_compiled_walk`, `stream_compile`) plus a derived speedup
-//! line.
+//! five BENCHJSON lines are emitted (`inner_record_walk`,
+//! `inner_compiled_walk`, `stream_compile`, `inner_bitsliced_record`,
+//! `inner_bitsliced_walk`) plus derived speedup lines. The bitsliced
+//! pair measures an all-Lee-&-Smith lane set that the gang engine
+//! packs into one two-plane [`tlat_core::LanePack`], isolating the
+//! plane-stepped walk from the mixed-lane set above (where only the
+//! two LS lanes pack).
 
 use tlat_bench::runner::Runner;
 use tlat_core::{AutomatonKind, HrtConfig};
@@ -68,6 +72,42 @@ fn main() {
         println!(
             "[gang_inner] compiled stream vs record stream: {:.2}x",
             records.median_ns / compiled.median_ns
+        );
+    }
+
+    // All five automata as Lee & Smith lanes on one shared geometry:
+    // the gang engine packs them into a single LanePack, so the whole
+    // walk is one branchless plane step per event (plus run-chunked
+    // tails) instead of five scalar automaton steps.
+    let bs_configs: Vec<SchemeConfig> = AutomatonKind::ALL
+        .iter()
+        .map(|&a| SchemeConfig::ls(HrtConfig::ahrt(512), a))
+        .collect();
+    let bs_lanes = || -> Vec<GangLane> {
+        bs_configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect()
+    };
+    let bs_events = trace.conditional_len() as u64 * bs_configs.len() as u64;
+    group.plan(1, 7);
+    let bs_records = group
+        .throughput(bs_events)
+        .bench("inner_bitsliced_record", || {
+            let mut lanes = bs_lanes();
+            gang_simulate_records(&mut lanes, &trace, SimOptions::default()).len()
+        });
+    group.plan(1, 7);
+    let bitsliced = group
+        .throughput(bs_events)
+        .bench("inner_bitsliced_walk", || {
+            let mut lanes = bs_lanes();
+            gang_simulate_precompiled(&mut lanes, &trace, &stream, SimOptions::default()).len()
+        });
+    if bitsliced.median_ns > 0.0 {
+        println!(
+            "[gang_inner] bitsliced pack vs record stream: {:.2}x",
+            bs_records.median_ns / bitsliced.median_ns
         );
     }
 }

@@ -42,6 +42,16 @@ pub const SMOKE_ITERS: u32 = 5;
 /// warmup reaches.
 pub const SMOKE_WARMUP: u32 = 1;
 
+// A zero-iteration plan would still "succeed": `median_and_mad(&[])`
+// reports (0.0, 0.0), so a smoke pass would print a fabricated 0 ns
+// median and CI would record it as a real measurement. Pin every
+// iteration constant at compile time (`plan` clamps its argument, and
+// `bench` re-checks at run time).
+const _: () = assert!(
+    SMOKE_ITERS >= 1 && DEFAULT_ITERS >= 1,
+    "bench plans must measure at least one iteration"
+);
+
 /// One completed measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
@@ -171,6 +181,12 @@ impl Runner {
     /// measurement. The closure's result is passed through
     /// [`black_box`] so the work cannot be optimized away.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        assert!(
+            self.iters >= 1,
+            "bench '{}/{name}' planned zero measured iterations — the median \
+             would be fabricated from no samples",
+            self.target
+        );
         for _ in 0..self.warmup {
             black_box(f());
         }
@@ -246,6 +262,22 @@ mod tests {
         assert_eq!(m.elements, Some(100));
         assert!(m.ns_per_element().is_some());
         assert!(m.id.starts_with("test/"));
+    }
+
+    #[test]
+    fn a_smoke_pass_never_measures_zero_iterations() {
+        // The flakiness this guards against: a plan that reaches
+        // `bench` with zero iterations reports a 0 ns median from
+        // `median_and_mad(&[])` — a fabricated measurement that CI
+        // would happily record. Every constructor and `plan` must
+        // clamp to at least one measured iteration, under `--test`
+        // smoke mode and the full plan alike.
+        assert!(SMOKE_ITERS >= 1);
+        assert!(DEFAULT_ITERS >= 1);
+        let mut r = Runner::new("test");
+        r.plan(0, 0); // ignored under --test; clamped to >= 1 otherwise
+        let m = r.bench("never_zero", || ());
+        assert!(m.iters >= 1, "reported median must come from real samples");
     }
 
     #[test]

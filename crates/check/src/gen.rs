@@ -348,6 +348,29 @@ pub fn tuple5<
     )
 }
 
+/// Bursty boolean sequences in run-length form: `(direction, length)`
+/// pairs with lengths in `[1, max_run_len]` and up to `max_runs` runs.
+///
+/// Built for plane-vs-scalar differential tests over branch-outcome
+/// streams, where both single flips and long same-direction runs must
+/// be covered (word-chunked run application changes code path at run
+/// length 4 and at 64-bit word boundaries). Generating in run-length
+/// form keeps shrinking *structural* — drop a run, shorten a run — so
+/// a failure minimizes to a short run list instead of a long bit
+/// string; expand to the flat stream with [`expand_runs`].
+pub fn outcome_runs(max_runs: usize, max_run_len: usize) -> Gen<Vec<(bool, usize)>> {
+    assert!(max_run_len >= 1, "runs have at least one outcome");
+    vec_of(tuple2(bools(), usize_in(1, max_run_len)), 0, max_runs)
+}
+
+/// Expands a run-length sequence from [`outcome_runs`] into the flat
+/// outcome stream it denotes.
+pub fn expand_runs(runs: &[(bool, usize)]) -> Vec<bool> {
+    runs.iter()
+        .flat_map(|&(bit, len)| std::iter::repeat(bit).take(len))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +418,27 @@ mod tests {
         let candidates = g.shrinks(&(5, true));
         assert!(candidates.contains(&(0, true)));
         assert!(candidates.contains(&(5, false)));
+    }
+
+    #[test]
+    fn outcome_runs_expand_and_shrink_structurally() {
+        let g = outcome_runs(8, 100);
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            let runs = g.generate(&mut rng);
+            assert!(runs.len() <= 8);
+            assert!(runs.iter().all(|&(_, n)| (1..=100).contains(&n)));
+            assert_eq!(expand_runs(&runs).len(), runs.iter().map(|&(_, n)| n).sum());
+        }
+        assert_eq!(
+            expand_runs(&[(true, 2), (false, 1)]),
+            vec![true, true, false]
+        );
+        // Shrinks stay within the run-length form (no zero-length runs)
+        // and include dropping a whole run.
+        let value = vec![(true, 5), (false, 3), (true, 64)];
+        let candidates = g.shrinks(&value);
+        assert!(candidates.iter().all(|c| c.iter().all(|&(_, n)| n >= 1)));
+        assert!(candidates.iter().any(|c| c.len() < value.len()));
     }
 }

@@ -256,6 +256,24 @@ impl AutomatonKind {
             AutomatonKind::A4 => AnyAutomaton::A4(A4::init_not_taken()),
         }
     }
+
+    /// Decodes a 2-bit state code (see [`AnyAutomaton::state_bits`])
+    /// into an automaton of this kind.
+    ///
+    /// Bits above the low two are ignored. Last-Time is a 1-bit
+    /// machine, so its decode also ignores bit 1 (its own encodings
+    /// never set it); codes 2 and 3 alias 0 and 1, which keeps the
+    /// function total — the bitsliced transition tables are derived
+    /// over all four codes even though only two are reachable.
+    pub fn from_state_bits(self, bits: u8) -> AnyAutomaton {
+        match self {
+            AutomatonKind::LastTime => AnyAutomaton::LastTime(LastTime(bits & 1 != 0)),
+            AutomatonKind::A1 => AnyAutomaton::A1(A1(bits & 0b11)),
+            AutomatonKind::A2 => AnyAutomaton::A2(A2(bits & 0b11)),
+            AutomatonKind::A3 => AnyAutomaton::A3(A3(bits & 0b11)),
+            AutomatonKind::A4 => AnyAutomaton::A4(A4(bits & 0b11)),
+        }
+    }
 }
 
 impl std::fmt::Display for AutomatonKind {
@@ -314,6 +332,21 @@ impl AnyAutomaton {
             AnyAutomaton::A2(_) => AutomatonKind::A2,
             AnyAutomaton::A3(_) => AutomatonKind::A3,
             AnyAutomaton::A4(_) => AutomatonKind::A4,
+        }
+    }
+
+    /// Encodes the state as a 2-bit code — the representation the
+    /// bitsliced planes of [`crate::bitslice`] use, bit 1 being the
+    /// high plane and bit 0 the low plane. Round-trips through
+    /// [`AutomatonKind::from_state_bits`]. Last-Time, a 1-bit machine,
+    /// only ever produces codes 0 and 1.
+    pub fn state_bits(self) -> u8 {
+        match self {
+            AnyAutomaton::LastTime(a) => a.0 as u8,
+            AnyAutomaton::A1(a) => a.0,
+            AnyAutomaton::A2(a) => a.0,
+            AnyAutomaton::A3(a) => a.0,
+            AnyAutomaton::A4(a) => a.0,
         }
     }
 }

@@ -448,6 +448,20 @@ impl<E: Clone> Ahrt<E> {
         self.stats.accesses += stats.accesses;
         self.stats.misses += stats.misses;
     }
+
+    /// Fast-forwards `n` accesses that are guaranteed tag hits on
+    /// `slot` — the bookkeeping of `n` repeated probes of the same pc
+    /// without the way scan. Only sound immediately after a probe of
+    /// that pc: the way already holds the tag, so each access would
+    /// hit the same way, bump the clock, and restamp it.
+    fn rehit(&mut self, slot: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.accesses += n;
+        self.clock += n as u32;
+        self.ways[slot as usize].stamp = self.clock;
+    }
 }
 
 impl<E: Clone> HistoryTable<E> for Ahrt<E> {
@@ -627,17 +641,21 @@ impl<E: Clone> AnyHrt<E> {
         }
     }
 
-    /// See [`Ahrt::adopt_probe_stats`]; called once at the end of a
-    /// slot-replayed walk.
-    ///
-    /// # Panics
-    ///
-    /// Panics on non-associative organizations.
+    /// Accumulates externally-counted access statistics into this
+    /// table, after a walk that probed on the table's behalf: a shared
+    /// [`SlotProbe`] for a slot-replayed walk, or the per-pack probe
+    /// driver of a bitsliced walk (any organization). Either way the
+    /// engine counted exactly what per-lane probing would have, so the
+    /// lane's [`stats`](HistoryTable::stats) report is unchanged by
+    /// the replay.
     pub fn adopt_probe_stats(&mut self, stats: HrtStats) {
-        match self {
-            AnyHrt::Associative(t) => t.adopt_probe_stats(stats),
-            _ => panic!("slot probes only drive set-associative tables"),
-        }
+        let own = match self {
+            AnyHrt::Ideal(t) => &mut t.stats,
+            AnyHrt::Associative(t) => return t.adopt_probe_stats(stats),
+            AnyHrt::Hashed(t) => &mut t.stats,
+        };
+        own.accesses += stats.accesses;
+        own.misses += stats.misses;
     }
 }
 
@@ -679,6 +697,21 @@ impl SlotProbe {
         };
         let k = key[site as usize];
         self.table.probe_slot((k >> 32) as usize, k as u32)
+    }
+
+    /// Probes a run of `n` consecutive accesses to `site`: one real
+    /// probe, then `n - 1` fast-forwarded accesses that are guaranteed
+    /// tag hits on the probed slot (the way holds the site's tag the
+    /// moment the first probe returns). Statistics, LRU clock, and the
+    /// way's stamp end up exactly as `n` calls to
+    /// [`step`](SlotProbe::step) would leave them. Feeds the bitsliced
+    /// pack walk, which consumes the event stream in same-site runs.
+    #[inline]
+    pub fn step_run(&mut self, site: SiteId, n: u64) -> Probe {
+        debug_assert!(n >= 1, "a run has at least one access");
+        let probe = self.step(site);
+        self.table.rehit(probe.slot, n - 1);
+        probe
     }
 
     /// Access statistics of the replayed sequence — what every lane in

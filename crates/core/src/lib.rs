@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod automaton;
+mod bitslice;
 mod btb;
 mod history;
 mod hrt;
@@ -61,6 +62,7 @@ mod two_level;
 mod variants;
 
 pub use automaton::{AnyAutomaton, Automaton, AutomatonKind, LastTime, A1, A2, A3, A4};
+pub use bitslice::{LanePack, SliceTables};
 pub use btb::TargetBuffer;
 pub use history::{HistoryRegister, MAX_HISTORY_BITS};
 pub use hrt::{

@@ -29,6 +29,21 @@
 //!   event; each lane applies the replayed slot decision via a direct
 //!   indexed entry access, and the engine's access statistics are
 //!   folded back into every sharing lane once per walk.
+//! * **Bitsliced Lee & Smith packs** — an LS lane's entire per-event
+//!   state is one two-bit automaton, so same-geometry LS lanes group
+//!   into packs: up to 64 lanes' states ride two `u64` planes per
+//!   table slot ([`tlat_core::LanePack`]) and one branchless plane
+//!   step advances the whole pack. Ideal, hashed, and scalar-free
+//!   associative packs skip the per-event loop entirely and replay
+//!   the stream in `(site, outcome)` runs; packs riding a mixed
+//!   gang's shared probe engine adapt to the stream shape — on
+//!   loop-heavy streams the event loop just logs each probe's slot
+//!   (the way scan stays paid once for the whole gang) and the pack
+//!   replays the log in `(slot, outcome)` runs afterwards, while on
+//!   churny streams it takes one branchless plane step per event
+//!   in-loop. In every run-replayed walk a loop branch's same-outcome
+//!   tail applies in O(1) once every automaton sits at its fixed
+//!   point.
 //! * **Closed-form profile scoring** — a profile lane's frozen
 //!   per-site bits never change during a walk, so its score is a
 //!   weighted sum over the compiled stream's per-site taken counts:
@@ -48,12 +63,14 @@ use crate::metrics::{self, Counter, Phase};
 use crate::stats::{PredictionStats, SimResult};
 use crate::pool::{catch_cell, CellPanic};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tlat_core::{
-    HrtConfig, LeeSmithBtb, Predictor, ProfilePredictor, SiteResolver, SlotProbe, StaticTraining,
-    StaticTrainingConfig, TwoLevelAdaptive,
+    AutomatonKind, HrtConfig, HrtStats, LanePack, LeeSmithBtb, Predictor, ProbeOutcome,
+    ProfilePredictor, SiteKeys, SiteResolver, SlotProbe, StaticTraining, StaticTrainingConfig,
+    TwoLevelAdaptive,
 };
 use tlat_trace::{
-    BranchClass, BranchRecord, CompiledTrace, RasEvent, ReturnAddressStack, Trace,
+    BranchClass, BranchRecord, CompiledTrace, RasEvent, ReturnAddressStack, SiteId, Trace,
 };
 
 /// One predictor riding a gang walk.
@@ -162,6 +179,75 @@ pub fn gang_simulate(lanes: &mut [GangLane], trace: &Trace) -> Vec<SimResult> {
     gang_simulate_with(lanes, trace, SimOptions::default())
 }
 
+/// Lanes per bitsliced pack: one bit of each `u64` plane.
+const PACK_WIDTH: usize = 64;
+
+/// Mean same-site run length (in events) from which a mixed gang's
+/// shared packs switch from stepping inside the per-event loop to
+/// replaying a logged slot stream in run chunks. Below it, runs are
+/// too short for chunking to amortize the log's write-and-rescan.
+const LOG_REPLAY_MIN_RUN: usize = 3;
+
+/// How many of a geometry's `count` Lee & Smith lanes go into bitsliced
+/// packs (the rest take the scalar site/slot path).
+///
+/// A single lane gains nothing from plane form, so geometries need at
+/// least two LS lanes to pack at all, and when chunking by
+/// [`PACK_WIDTH`] would strand exactly one lane in the final chunk,
+/// that straggler stays scalar instead of becoming a one-lane pack.
+fn packed_quota(count: usize) -> usize {
+    if count < 2 {
+        0
+    } else if count % PACK_WIDTH == 1 {
+        count - 1
+    } else {
+        count
+    }
+}
+
+/// The slot driver of one bitsliced pack: yields the slot every
+/// lane's planes are indexed by, mirroring the per-organization
+/// bookkeeping of [`tlat_core::AnyHrt`] exactly (statistics
+/// included), so folding the driver's [`HrtStats`] back into each
+/// packed lane reproduces what per-lane probing would have counted.
+enum PackProbe {
+    /// Ideal table: slot = site (both are first-appearance order); a
+    /// fresh site is exactly the next slot to grow.
+    Ideal { next_site: SiteId, stats: HrtStats },
+    /// Set-associative geometry in a mixed gang: the pack rides the
+    /// geometry's shared per-event [`SlotProbe`] (index into the
+    /// engine list) — the way scan is paid once for scalar slot-path
+    /// lanes and the pack together. The stepping strategy adapts to
+    /// the stream: on loop-heavy streams (mean same-site run ≥
+    /// [`LOG_REPLAY_MIN_RUN`]) the event loop only logs the engine's
+    /// slot decisions and the pack replays the log afterwards in
+    /// (slot, outcome) runs, collapsing a loop branch's same-outcome
+    /// tail to O(1); on churny streams the pack takes one branchless
+    /// plane step per event in-loop, where a log would only be
+    /// rescanned in runs of length one.
+    Shared(usize),
+    /// Set-associative geometry in a gang with no scalar per-event
+    /// consumers: a pack-owned probe engine advanced one real probe
+    /// per same-site run plus a fast-forward for the guaranteed
+    /// re-hits ([`SlotProbe::step_run`]). Tag/LRU state is a
+    /// deterministic function of the access sequence, so the private
+    /// engine's decisions and statistics are byte-identical to a
+    /// shared engine's.
+    Private(SlotProbe),
+    /// Tagless hashed table: slot precomputed per site, every access
+    /// hits.
+    Hashed { keys: Arc<SiteKeys>, stats: HrtStats },
+}
+
+/// One bitsliced pack: up to [`PACK_WIDTH`] same-geometry Lee & Smith
+/// lanes as two `u64` planes per slot, plus the geometry's slot driver
+/// and the lanes to fold results back into.
+struct LsPack<'a> {
+    planes: LanePack,
+    probe: PackProbe,
+    lanes: Vec<(&'a mut LeeSmithBtb, &'a mut PredictionStats)>,
+}
+
 /// Simulates every lane over `trace` in a single walk.
 ///
 /// Each conditional branch runs the predict → score → update cycle for
@@ -229,6 +315,39 @@ pub fn gang_simulate_precompiled(
     // the whole group ([`tlat_core::AnyHrt::slot_entry`]). A geometry
     // probed by a single lane keeps the plain site path — sharing
     // saves nothing there.
+    // Lee & Smith lanes sharing an exact table geometry (any
+    // organization) peel off into bitsliced packs; `packed_quota`
+    // decides how many of each geometry's LS lanes pack. Whether a
+    // scalar per-event consumer remains (an AT/ST lane, or an
+    // unpacked LS lane) decides how associative packs probe: beside
+    // scalar consumers they share the per-event engine, alone they
+    // replay the stream privately in (site, outcome) runs.
+    let mut ls_geometry: HashMap<HrtConfig, usize> = HashMap::new();
+    for lane in lanes.iter() {
+        if let GangLane::LeeSmith(p) = lane {
+            *ls_geometry.entry(p.config().hrt).or_insert(0) += 1;
+        }
+    }
+    let mut ls_scan: HashMap<HrtConfig, usize> = HashMap::new();
+    let mut scalar_consumers = false;
+    for lane in lanes.iter() {
+        match lane {
+            GangLane::TwoLevel(_) | GangLane::StaticTraining(_) => scalar_consumers = true,
+            GangLane::LeeSmith(p) => {
+                let cfg = p.config().hrt;
+                let seen = ls_scan.entry(cfg).or_insert(0);
+                if *seen >= packed_quota(ls_geometry[&cfg]) {
+                    scalar_consumers = true;
+                }
+                *seen += 1;
+            }
+            GangLane::Profile(_) | GangLane::Dyn(_) => {}
+        }
+    }
+    // Packed LS lanes count toward shared-SlotProbe eligibility: in a
+    // mixed gang a pack's >= 2 lanes always justify forming its
+    // geometry's engine, which the pack then consumes alongside any
+    // scalar sharers.
     let mut geometry_lanes: HashMap<HrtConfig, usize> = HashMap::new();
     for lane in lanes.iter() {
         if let Some(cfg @ HrtConfig::Associative { .. }) = lane.hrt_config() {
@@ -259,24 +378,36 @@ pub fn gang_simulate_precompiled(
     let mut st_slots: Vec<(usize, &mut StaticTraining, &mut PredictionStats)> = Vec::new();
     let mut prof_lanes: Vec<(&mut ProfilePredictor, &mut PredictionStats)> = Vec::new();
     let mut dyn_lanes: Vec<(&mut Box<dyn Predictor>, &mut PredictionStats)> = Vec::new();
+    let mut pack_groups: HashMap<HrtConfig, Vec<(&mut LeeSmithBtb, &mut PredictionStats)>> =
+        HashMap::new();
+    let mut ls_taken: HashMap<HrtConfig, usize> = HashMap::new();
     for (lane, stat) in lanes.iter_mut().zip(stats.iter_mut()) {
-        let shared = engine_for(lane.hrt_config(), &mut resolver);
         match lane {
-            GangLane::TwoLevel(p) => match shared {
+            GangLane::TwoLevel(p) => match engine_for(Some(p.config().hrt), &mut resolver) {
                 Some(ei) => at_slots.push((ei, p, stat)),
                 None => {
                     p.bind_sites(&mut resolver);
                     at_lanes.push((p, stat));
                 }
             },
-            GangLane::LeeSmith(p) => match shared {
-                Some(ei) => ls_slots.push((ei, p, stat)),
-                None => {
-                    p.bind_sites(&mut resolver);
-                    ls_lanes.push((p, stat));
+            GangLane::LeeSmith(p) => {
+                let cfg = p.config().hrt;
+                let seen = ls_taken.entry(cfg).or_insert(0);
+                let packed = *seen < packed_quota(ls_geometry[&cfg]);
+                *seen += 1;
+                if packed {
+                    pack_groups.entry(cfg).or_default().push((p, stat));
+                } else {
+                    match engine_for(Some(cfg), &mut resolver) {
+                        Some(ei) => ls_slots.push((ei, p, stat)),
+                        None => {
+                            p.bind_sites(&mut resolver);
+                            ls_lanes.push((p, stat));
+                        }
+                    }
                 }
-            },
-            GangLane::StaticTraining(p) => match shared {
+            }
+            GangLane::StaticTraining(p) => match engine_for(Some(p.config().hrt), &mut resolver) {
                 Some(ei) => st_slots.push((ei, p, stat)),
                 None => {
                     p.bind_sites(&mut resolver);
@@ -290,11 +421,93 @@ pub fn gang_simulate_precompiled(
             GangLane::Dyn(p) => dyn_lanes.push((p, stat)),
         }
     }
+    // Assemble the bitsliced packs: chunk each geometry's packed LS
+    // lanes by PACK_WIDTH (packed_quota guarantees no one-lane chunk)
+    // and give each pack its organization's slot driver. Hashed and
+    // associative planes are sized to the table; ideal planes grow a
+    // slot per fresh site, like the table they mirror.
+    let mut packs: Vec<LsPack> = Vec::new();
+    for (cfg, mut group) in pack_groups {
+        while !group.is_empty() {
+            let take = group.len().min(PACK_WIDTH);
+            let chunk: Vec<_> = group.drain(..take).collect();
+            debug_assert!(chunk.len() >= 2, "packed_quota strands no singletons");
+            let kinds: Vec<AutomatonKind> =
+                chunk.iter().map(|(p, _)| p.config().automaton).collect();
+            let (slots, probe) = match cfg {
+                HrtConfig::Ideal => (
+                    0,
+                    PackProbe::Ideal {
+                        next_site: 0,
+                        stats: HrtStats::default(),
+                    },
+                ),
+                HrtConfig::Associative { entries, .. } => (
+                    entries,
+                    if scalar_consumers {
+                        PackProbe::Shared(
+                            engine_for(Some(cfg), &mut resolver)
+                                .expect("a pack's >= 2 lanes make its geometry shared"),
+                        )
+                    } else {
+                        PackProbe::Private(
+                            SlotProbe::build(cfg, &mut resolver).expect("geometry is associative"),
+                        )
+                    },
+                ),
+                HrtConfig::Hashed { entries } => (
+                    entries,
+                    PackProbe::Hashed {
+                        keys: resolver.keys(cfg),
+                        stats: HrtStats::default(),
+                    },
+                ),
+            };
+            packs.push(LsPack {
+                planes: LanePack::new(&kinds, slots),
+                probe,
+                lanes: chunk,
+            });
+        }
+    }
     // Event-major order: the `(site, taken)` decode and the per-
     // geometry probes are paid once per event and amortized over every
     // lane (the tables of a paper-sized sweep are small enough to stay
     // cache-resident across lanes). Lanes never interact, so any
-    // event-vs-lane loop order is observably identical.
+    // event-vs-lane loop order is observably identical. A gang whose
+    // conditional consumers all packed (or score per site, like
+    // profile lanes) skips the loop outright.
+    // Shared-probe packs pick their stepping strategy off the
+    // stream's shape, measured once at compile time. A loop-heavy
+    // stream (long same-site runs) has the per-event loop log each
+    // riding engine's slot decisions — one word per event — and the
+    // pack replays the log afterwards in (slot, outcome) runs, where
+    // a loop branch's same-outcome tail applies in O(1). A churny
+    // stream (runs of an event or two, nothing for chunking to
+    // amortize) steps the pack inside the loop instead, straight off
+    // the shared probe, and skips the log entirely.
+    let shared_packs: Vec<(usize, usize)> = packs
+        .iter()
+        .enumerate()
+        .filter_map(|(pi, pack)| match pack.probe {
+            PackProbe::Shared(ei) => Some((pi, ei)),
+            _ => None,
+        })
+        .collect();
+    let log_replay = compiled.len() >= LOG_REPLAY_MIN_RUN * compiled.site_run_count();
+    let stepped_packs: Vec<(usize, usize)> = if log_replay {
+        Vec::new()
+    } else {
+        shared_packs.clone()
+    };
+    let mut slot_logs: Vec<(usize, Vec<u32>)> = Vec::new();
+    if log_replay {
+        for &(_, ei) in &shared_packs {
+            if !slot_logs.iter().any(|(e, _)| *e == ei) {
+                slot_logs.push((ei, Vec::with_capacity(compiled.cond_sites().len())));
+            }
+        }
+    }
     let mut probes = vec![
         tlat_core::Probe {
             slot: 0,
@@ -302,27 +515,157 @@ pub fn gang_simulate_precompiled(
         };
         engines.len()
     ];
-    for (site, taken) in compiled.events() {
-        for (engine, probe) in engines.iter_mut().zip(probes.iter_mut()) {
-            *probe = engine.step(site);
+    if scalar_consumers {
+        for (site, taken) in compiled.events() {
+            for (engine, probe) in engines.iter_mut().zip(probes.iter_mut()) {
+                *probe = engine.step(site);
+            }
+            for (ei, p, stat) in &mut at_slots {
+                stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+            }
+            for (ei, p, stat) in &mut ls_slots {
+                stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+            }
+            for (ei, p, stat) in &mut st_slots {
+                stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+            }
+            for (p, stat) in &mut at_lanes {
+                stat.record(p.predict_update_site(site, taken) == taken);
+            }
+            for (p, stat) in &mut ls_lanes {
+                stat.record(p.predict_update_site(site, taken) == taken);
+            }
+            for (p, stat) in &mut st_lanes {
+                stat.record(p.predict_update_site(site, taken) == taken);
+            }
+            // Churny stream: packs advance every lane in one
+            // branchless plane step off the probe the slot-path lanes
+            // above already consumed.
+            for &(pi, ei) in &stepped_packs {
+                let probe = probes[ei];
+                let pack = &mut packs[pi];
+                if probe.outcome == ProbeOutcome::Filled {
+                    pack.planes.fill_slot(probe.slot as usize);
+                }
+                pack.planes.step(probe.slot as usize, taken);
+            }
+            // Loop-heavy stream: log the probe instead, for the
+            // run-chunked replay below — slot in the low half, fill
+            // flag above it.
+            for (ei, log) in &mut slot_logs {
+                let probe = probes[*ei];
+                log.push(
+                    u32::from(probe.slot)
+                        | u32::from(probe.outcome == ProbeOutcome::Filled) << 16,
+                );
+            }
         }
-        for (ei, p, stat) in &mut at_slots {
-            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+    }
+    // Every other pack replays the stream in (site, outcome) runs,
+    // off to the side of the per-event loop. A run of r accesses to
+    // one site costs one real probe plus O(1) fast-forward
+    // bookkeeping, and within it each same-outcome run beyond three
+    // plane steps is a single shared correct-count — every automaton
+    // sits at its fixed point by then (asserted when the transition
+    // tables are derived).
+    let sites = compiled.cond_sites();
+    let outcomes = compiled.outcomes();
+    for pack in &mut packs {
+        if matches!(pack.probe, PackProbe::Shared(_)) {
+            continue;
         }
-        for (ei, p, stat) in &mut ls_slots {
-            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+        let mut i = 0;
+        while i < sites.len() {
+            let site = sites[i];
+            let mut j = i + 1;
+            while j < sites.len() && sites[j] == site {
+                j += 1;
+            }
+            let slot = match &mut pack.probe {
+                PackProbe::Private(engine) => {
+                    let probe = engine.step_run(site, (j - i) as u64);
+                    if probe.outcome == ProbeOutcome::Filled {
+                        pack.planes.fill_slot(probe.slot as usize);
+                    }
+                    probe.slot as usize
+                }
+                PackProbe::Ideal { next_site, stats } => {
+                    stats.accesses += (j - i) as u64;
+                    if site == *next_site {
+                        stats.misses += 1;
+                        *next_site += 1;
+                        pack.planes.push_slot();
+                    }
+                    site as usize
+                }
+                PackProbe::Hashed { keys, stats } => {
+                    stats.accesses += (j - i) as u64;
+                    let SiteKeys::Hashed { slot } = &**keys else {
+                        unreachable!("hashed packs resolve hashed keys")
+                    };
+                    slot[site as usize] as usize
+                }
+                PackProbe::Shared(_) => unreachable!("shared packs replay their slot log"),
+            };
+            let mut k = i;
+            while k < j {
+                let taken = outcomes.get(k);
+                let run = outcomes.run_len(k, j);
+                pack.planes.apply_run(slot, taken, run as u64);
+                k += run;
+            }
+            i = j;
         }
-        for (ei, p, stat) in &mut st_slots {
-            stat.record(p.predict_update_slot(probes[*ei], taken) == taken);
+    }
+    // On a loop-heavy stream, shared packs replay their engine's slot
+    // log the same way, with the probing already paid: equal log
+    // words group into runs — a filled way is valid by its next
+    // probe, so a fill flag can't repeat within one — and the fill
+    // applies once, up front.
+    for &(pi, ei) in if log_replay { &shared_packs[..] } else { &[] } {
+        let (_, log) = slot_logs
+            .iter()
+            .find(|(e, _)| *e == ei)
+            .expect("every shared pack's engine is logged");
+        let pack = &mut packs[pi];
+        let mut i = 0;
+        while i < log.len() {
+            let v = log[i];
+            let mut j = i + 1;
+            while j < log.len() && log[j] == v {
+                j += 1;
+            }
+            let slot = (v & 0xffff) as usize;
+            if v >> 16 != 0 {
+                debug_assert_eq!(j - i, 1, "a filled way is valid on its next probe");
+                pack.planes.fill_slot(slot);
+            }
+            let mut k = i;
+            while k < j {
+                let taken = outcomes.get(k);
+                let run = outcomes.run_len(k, j);
+                pack.planes.apply_run(slot, taken, run as u64);
+                k += run;
+            }
+            i = j;
         }
-        for (p, stat) in &mut at_lanes {
-            stat.record(p.predict_update_site(site, taken) == taken);
-        }
-        for (p, stat) in &mut ls_lanes {
-            stat.record(p.predict_update_site(site, taken) == taken);
-        }
-        for (p, stat) in &mut st_lanes {
-            stat.record(p.predict_update_site(site, taken) == taken);
+    }
+    // Prediction and table state evolved exactly as the scalar walk's:
+    // a packed lane's own table payload goes stale (the pack owns it
+    // for the walk, as on the slot path) and only predicted/correct
+    // and the adopted HrtStats are observable — fold them back now.
+    for pack in &mut packs {
+        let predicted = pack.planes.predicted();
+        let correct = pack.planes.correct_counts();
+        let probe_stats = match &pack.probe {
+            PackProbe::Shared(ei) => engines[*ei].stats(),
+            PackProbe::Private(engine) => engine.stats(),
+            PackProbe::Ideal { stats, .. } | PackProbe::Hashed { stats, .. } => *stats,
+        };
+        for (lane, (p, stat)) in pack.lanes.iter_mut().enumerate() {
+            stat.predicted += predicted;
+            stat.correct += correct[lane];
+            p.adopt_probe_stats(probe_stats);
         }
     }
     // Slot-path lanes skipped their own per-event access accounting;
@@ -738,6 +1081,226 @@ mod tests {
     }
 
     #[test]
+    fn bitsliced_packs_match_the_record_walk_across_organizations() {
+        // Packs form wherever ≥2 LS lanes share an exact geometry:
+        // five automata on the paper AHRT, pairs on ideal / hashed /
+        // a small eviction-heavy associative table, plus a singleton
+        // LS straggler and an AT lane that must be untouched by the
+        // packing — all bit-identical to the raw-record reference.
+        let trace = SyntheticStream::mixed(0xb175, 80).generate(6_000);
+        let options = SimOptions { ras_entries: 8 };
+        let configs = vec![
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A1),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A3),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A4),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::LastTime),
+            SchemeConfig::ls(HrtConfig::hhrt(64), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::hhrt(64), AutomatonKind::A4),
+            SchemeConfig::ls(
+                HrtConfig::Associative {
+                    entries: 16,
+                    ways: 2,
+                },
+                AutomatonKind::A2,
+            ),
+            SchemeConfig::ls(
+                HrtConfig::Associative {
+                    entries: 16,
+                    ways: 2,
+                },
+                AutomatonKind::A3,
+            ),
+            SchemeConfig::ls(HrtConfig::ahrt(256), AutomatonKind::A2), // straggler
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        // The synthetic stream visits sites at random, so same-site
+        // runs barely form and shared packs must take the in-loop
+        // plane-stepping strategy here.
+        let compiled_stream = CompiledTrace::compile(&trace);
+        assert!(
+            compiled_stream.len() < LOG_REPLAY_MIN_RUN * compiled_stream.site_run_count(),
+            "trace drifted loop-heavy; this test pins the stepped-pack path"
+        );
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+        // The packed lanes' adopted table statistics must also match
+        // what per-lane probing counted on the record walk.
+        for (c, r) in compiled_lanes.iter().zip(&record_lanes) {
+            if let (GangLane::LeeSmith(a), GangLane::LeeSmith(b)) = (c, r) {
+                assert_eq!(a.table_stats(), b.table_stats(), "{}", a.name());
+            }
+        }
+    }
+
+    /// A trace shaped like nested loops: each visit to a site emits a
+    /// short burst of consecutive events there, with the outcome
+    /// flipping partway through some bursts (a loop exit) so runs of
+    /// both directions straddle word boundaries in the outcome bitvec.
+    fn loop_heavy_trace(events: usize) -> Trace {
+        let sites = 48u32;
+        let mut trace = Trace::with_capacity(events);
+        let mut t = 0usize;
+        while trace.len() < events {
+            let site = ((t * 7 + t / 11) % sites as usize) as u32;
+            let pc = 0x2000 + site * 4;
+            let burst = 2 + t % 7; // 2..=8 consecutive events, mean ~5
+            let exit_at = burst - 1 - t % 2;
+            for k in 0..burst {
+                let taken = k < exit_at;
+                trace.push(BranchRecord::conditional(pc, pc + 0x40, taken));
+            }
+            t += 1;
+        }
+        trace
+    }
+
+    #[test]
+    fn mixed_gangs_on_loop_heavy_streams_replay_the_slot_log() {
+        // With scalar consumers present (an AT lane) the shared packs
+        // ride the gang's probe engines — and on a loop-heavy stream
+        // they must take the log-replay strategy: record each probe's
+        // slot during the event loop, then apply whole same-slot
+        // same-outcome runs in word-sized chunks afterwards. The tiny
+        // 2-way table forces evictions and refills mid-stream, so the
+        // fill flag rides the log too. Still bit-identical.
+        let trace = loop_heavy_trace(6_000);
+        let compiled_stream = CompiledTrace::compile(&trace);
+        assert!(
+            compiled_stream.len() >= LOG_REPLAY_MIN_RUN * compiled_stream.site_run_count(),
+            "trace must be loop-heavy enough to trip the log-replay gate (mean run {:.2})",
+            compiled_stream.len() as f64 / compiled_stream.site_run_count() as f64
+        );
+        let options = SimOptions { ras_entries: 8 };
+        let small = HrtConfig::Associative {
+            entries: 16,
+            ways: 2,
+        };
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A1),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A4),
+            SchemeConfig::ls(small, AutomatonKind::A2),
+            SchemeConfig::ls(small, AutomatonKind::A3),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A4),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+        for (c, r) in compiled_lanes.iter().zip(&record_lanes) {
+            if let (GangLane::LeeSmith(a), GangLane::LeeSmith(b)) = (c, r) {
+                assert_eq!(a.table_stats(), b.table_stats(), "{}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn pack_only_gangs_take_the_chunked_run_walk() {
+        // With no AT/ST lane and no unpacked LS lane, the per-event
+        // loop has no consumers: every pack owns its probe (private
+        // engine for associative geometries) and replays the stream in
+        // (site, outcome) runs, word-chunked against the outcome
+        // bitvec — still bit-identical to the record walk.
+        let trace = SyntheticStream::mixed(0x517e, 64).generate(6_000);
+        let options = SimOptions { ras_entries: 8 };
+        let small = HrtConfig::Associative {
+            entries: 16,
+            ways: 2,
+        };
+        let configs = vec![
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A1),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A3),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A4),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::Ideal, AutomatonKind::A3),
+            SchemeConfig::ls(HrtConfig::hhrt(64), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::hhrt(64), AutomatonKind::LastTime),
+            SchemeConfig::ls(small, AutomatonKind::A2),
+            SchemeConfig::ls(small, AutomatonKind::A4),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+        for (c, r) in compiled_lanes.iter().zip(&record_lanes) {
+            if let (GangLane::LeeSmith(a), GangLane::LeeSmith(b)) = (c, r) {
+                assert_eq!(a.table_stats(), b.table_stats(), "{}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packs_wider_than_a_word_chunk_and_strand_the_straggler() {
+        // 65 same-geometry LS lanes: one full 64-lane pack plus one
+        // scalar straggler (packed_quota refuses one-lane packs).
+        assert_eq!(packed_quota(0), 0);
+        assert_eq!(packed_quota(1), 0);
+        assert_eq!(packed_quota(2), 2);
+        assert_eq!(packed_quota(64), 64);
+        assert_eq!(packed_quota(65), 64);
+        assert_eq!(packed_quota(66), 66);
+        assert_eq!(packed_quota(129), 128);
+        let trace = SyntheticStream::mixed(0x65, 24).generate(2_000);
+        let kinds = AutomatonKind::ALL;
+        let configs: Vec<SchemeConfig> = (0..65)
+            .map(|i| SchemeConfig::ls(HrtConfig::ahrt(512), kinds[i % kinds.len()]))
+            .collect();
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, SimOptions::default());
+        let records = gang_simulate_records(&mut record_lanes, &trace, SimOptions::default());
+        for (i, (c, r)) in compiled.iter().zip(&records).enumerate() {
+            assert_eq!(c.conditional, r.conditional, "lane {i}");
+        }
+    }
+
+    #[test]
     fn isolated_walk_keeps_not_applicable_lanes_blank() {
         let trace = SyntheticStream::mixed(0x11, 8).generate(500);
         let configs = sweep();
@@ -757,3 +1320,4 @@ mod tests {
         assert!(outcomes[2].as_ref().unwrap().is_ok());
     }
 }
+

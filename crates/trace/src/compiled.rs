@@ -137,6 +137,47 @@ impl PackedBits {
             .flat_map(|&word| (0..64).map(move |bit| (word >> bit) & 1 != 0))
             .take(self.len)
     }
+
+    /// Length of the maximal run of identical bits starting at `start`,
+    /// capped so the run never reaches past `limit` (an exclusive end
+    /// index).
+    ///
+    /// Scans word-at-a-time — one XOR-invert plus a `trailing_zeros`
+    /// per 64 bits, crossing word boundaries as needed — so detecting
+    /// a loop branch's same-outcome run costs O(run/64), not O(run).
+    /// This is what lets a bitsliced gang walk consume the outcome
+    /// stream in word-sized chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start >= limit` or `limit > len`.
+    pub fn run_len(&self, start: usize, limit: usize) -> usize {
+        assert!(
+            start < limit && limit <= self.len,
+            "run window {start}..{limit} out of range for {} bits",
+            self.len
+        );
+        let bit = self.get(start);
+        let mut i = start;
+        while i < limit {
+            // Set bits mark disagreements with the run's direction; for
+            // a taken run the word is inverted so the (zero) padding
+            // past `len` can never extend a run — `limit` caps the
+            // not-taken case.
+            let diff = if bit {
+                !self.words[i / 64]
+            } else {
+                self.words[i / 64]
+            } >> (i % 64);
+            let avail = 64 - i % 64;
+            let same = (diff.trailing_zeros() as usize).min(avail);
+            i += same;
+            if same < avail {
+                break;
+            }
+        }
+        i.min(limit) - start
+    }
 }
 
 /// One return-address-stack event, in trace order.
@@ -189,6 +230,11 @@ pub struct CompiledTrace {
     /// predictors: a profile lane's score is a weighted sum over
     /// sites, not a walk.
     site_counts: Vec<u64>,
+    /// Number of maximal same-site runs in the conditional stream.
+    /// `len() / site_runs` is the mean same-site run length — how
+    /// loop-shaped the stream is — which run-chunked consumers use to
+    /// decide whether chunking can pay for itself.
+    site_runs: usize,
 }
 
 impl CompiledTrace {
@@ -206,6 +252,7 @@ impl CompiledTrace {
             gaps: trace.gaps().to_vec(),
             site_taken: Vec::new(),
             site_counts: Vec::new(),
+            site_runs: 0,
         };
         for branch in trace.iter() {
             match branch.class {
@@ -219,6 +266,9 @@ impl CompiledTrace {
                     }
                     compiled.site_taken[site as usize] += branch.taken as u64;
                     compiled.site_counts[site as usize] += 1;
+                    if compiled.cond_sites.last() != Some(&site) {
+                        compiled.site_runs += 1;
+                    }
                     compiled.cond_sites.push(site);
                     compiled.outcomes.push(branch.taken);
                 }
@@ -291,6 +341,13 @@ impl CompiledTrace {
         &self.site_counts
     }
 
+    /// Number of maximal same-site runs in the conditional stream
+    /// (adjacent events at the same site collapse into one run).
+    /// `len() / site_run_count()` is the stream's mean run length.
+    pub fn site_run_count(&self) -> usize {
+        self.site_runs
+    }
+
     /// Iterates the conditional stream as `(site, taken)` pairs.
     pub fn events(&self) -> impl Iterator<Item = (SiteId, bool)> + '_ {
         self.cond_sites
@@ -323,6 +380,67 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn packed_bits_bounds_checked() {
         PackedBits::new().get(0);
+    }
+
+    fn packed(pattern: &[bool]) -> PackedBits {
+        let mut bits = PackedBits::new();
+        for &b in pattern {
+            bits.push(b);
+        }
+        bits
+    }
+
+    #[test]
+    fn run_len_matches_a_naive_scan() {
+        // Bursty pattern with runs placed to cross the 64-bit word
+        // boundary in both directions.
+        let mut pattern = Vec::new();
+        for &(bit, n) in &[
+            (true, 3),
+            (false, 57),
+            (true, 10), // straddles bit 64
+            (false, 1),
+            (true, 70), // spans a whole word and both neighbours
+            (false, 130),
+        ] {
+            pattern.extend(std::iter::repeat(bit).take(n));
+        }
+        let bits = packed(&pattern);
+        for start in 0..pattern.len() {
+            let naive = pattern[start..]
+                .iter()
+                .take_while(|&&b| b == pattern[start])
+                .count();
+            assert_eq!(
+                bits.run_len(start, pattern.len()),
+                naive,
+                "run starting at {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_len_respects_the_limit() {
+        let bits = packed(&[true; 100]);
+        assert_eq!(bits.run_len(0, 100), 100);
+        assert_eq!(bits.run_len(0, 64), 64);
+        assert_eq!(bits.run_len(60, 70), 10);
+        assert_eq!(bits.run_len(99, 100), 1);
+    }
+
+    #[test]
+    fn run_len_of_trailing_not_taken_ignores_word_padding() {
+        // 70 not-taken bits: the final word's unused high bits are
+        // zero, which must not extend the run past `limit`.
+        let bits = packed(&[false; 70]);
+        assert_eq!(bits.run_len(0, 70), 70);
+        assert_eq!(bits.run_len(65, 70), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn run_len_bounds_checked() {
+        packed(&[true; 4]).run_len(2, 8);
     }
 
     #[test]

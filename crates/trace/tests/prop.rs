@@ -2,7 +2,41 @@
 //! `tlat-check` harness.
 
 use tlat_check::{check, gen, prop_assert, prop_assert_eq, Gen};
-use tlat_trace::{codec, BranchClass, BranchRecord, InstClass, ReturnAddressStack, Trace};
+use tlat_trace::{codec, BranchClass, BranchRecord, InstClass, PackedBits, ReturnAddressStack, Trace};
+
+/// `PackedBits::run_len`'s word-level scan (invert, shift,
+/// `trailing_zeros`, cross word boundaries) must agree with a naive
+/// bit-at-a-time scan for every start position and cap — bursty
+/// run-length inputs make long word-straddling runs common.
+#[test]
+fn packed_run_len_matches_a_naive_scan() {
+    let inputs = gen::outcome_runs(10, 150);
+    check("packed_run_len_matches_naive_scan", &inputs, |runs| {
+        let pattern = gen::expand_runs(runs);
+        if pattern.is_empty() {
+            return Ok(());
+        }
+        let mut bits = PackedBits::new();
+        for &b in &pattern {
+            bits.push(b);
+        }
+        for start in 0..pattern.len() {
+            let naive = pattern[start..]
+                .iter()
+                .take_while(|&&b| b == pattern[start])
+                .count();
+            prop_assert_eq!(bits.run_len(start, pattern.len()), naive, "start {start}");
+            // A cap below the natural run end truncates exactly there.
+            let cap = (start + naive.div_ceil(2)).max(start + 1).min(pattern.len());
+            prop_assert_eq!(
+                bits.run_len(start, cap),
+                naive.min(cap - start),
+                "start {start} cap {cap}"
+            );
+        }
+        Ok(())
+    });
+}
 
 fn arb_class() -> Gen<BranchClass> {
     gen::choose(&BranchClass::ALL)
