@@ -297,9 +297,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            // Binary format starts with the magic; anything else is
-            // tried as the text format.
-            let trace = if bytes.starts_with(b"TLA1") {
+            // Binary formats start with a TLA* magic (TLA1/TLA2
+            // records, TLA3 packets — `codec::decode` dispatches);
+            // anything else is tried as the text format.
+            let trace = if bytes.starts_with(b"TLA") {
                 tlat_trace::codec::decode(&bytes)
             } else {
                 match std::str::from_utf8(&bytes) {

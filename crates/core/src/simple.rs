@@ -5,7 +5,7 @@ use tlat_trace::json::{JsonObject, ToJson};
 use crate::hrt::SiteResolver;
 use crate::predictor::Predictor;
 use std::collections::HashMap;
-use tlat_trace::{BranchClass, BranchRecord, SiteId, Trace};
+use tlat_trace::{BranchClass, BranchRecord, CompiledTrace, SiteId, Trace};
 
 /// Predicts every branch taken (~60 % accuracy on the paper's mix).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -90,6 +90,24 @@ impl ProfilePredictor {
             bits: counts
                 .into_iter()
                 .map(|(pc, (taken, total))| (pc, 2 * taken >= total))
+                .collect(),
+            site_bits: Vec::new(),
+        }
+    }
+
+    /// [`train`](ProfilePredictor::train) over a compiled event
+    /// stream: the per-site taken/total counts the stream already
+    /// carries are exactly the per-pc tallies a profiling pass would
+    /// gather (sites intern one-to-one with branch addresses), so no
+    /// record walk is needed. Identical to the record path (pinned by
+    /// tests).
+    pub fn train_compiled(compiled: &CompiledTrace) -> Self {
+        ProfilePredictor {
+            bits: compiled
+                .site_pcs()
+                .iter()
+                .zip(compiled.site_taken().iter().zip(compiled.site_counts()))
+                .map(|(&pc, (&taken, &total))| (pc, 2 * taken >= total))
                 .collect(),
             site_bits: Vec::new(),
         }
@@ -233,6 +251,22 @@ mod tests {
         trace.push(BranchRecord::unconditional_imm(0x1000, 0x800));
         let p = ProfilePredictor::train(&trace);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn compiled_training_equals_record_training() {
+        let mut trace = Trace::new();
+        for i in 0..300 {
+            trace.push(cond(0x1000 + (i % 4) * 8, 0x800, i % 3 == 0));
+            if i % 5 == 0 {
+                trace.push(BranchRecord::unconditional_imm(0x5000, 0x800));
+            }
+        }
+        let compiled = tlat_trace::CompiledTrace::compile(&trace);
+        assert_eq!(
+            ProfilePredictor::train_compiled(&compiled),
+            ProfilePredictor::train(&trace)
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::history::HistoryRegister;
 use crate::hrt::{AnyHrt, HistoryTable, HrtConfig, HrtStats, Probe, SiteKeys, SiteResolver};
 use crate::predictor::Predictor;
 use std::sync::Arc;
-use tlat_trace::{BranchClass, BranchRecord, SiteId, Trace};
+use tlat_trace::{BranchClass, BranchRecord, CompiledTrace, SiteId, Trace};
 
 /// Configuration of a [`StaticTraining`] predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +84,29 @@ impl TrainingProfile {
             profile.total[pattern] += 1;
             profile.taken[pattern] += branch.taken as u64;
             hr.shift(branch.taken);
+        }
+        profile
+    }
+
+    /// [`collect`](TrainingProfile::collect) over a compiled event
+    /// stream. Sites intern one-to-one with branch addresses in
+    /// first-appearance order, so per-site history registers observe
+    /// exactly the per-pc sequences of the record walk and the profile
+    /// is identical (pinned by tests) — without ever materializing
+    /// per-record vectors.
+    pub fn collect_compiled(compiled: &CompiledTrace, history_bits: u8) -> Self {
+        let size = 1usize << history_bits;
+        let mut profile = TrainingProfile {
+            taken: vec![0; size],
+            total: vec![0; size],
+        };
+        let mut histories = vec![HistoryRegister::new(history_bits); compiled.num_sites()];
+        for (site, taken) in compiled.events() {
+            let hr = &mut histories[site as usize];
+            let pattern = hr.pattern();
+            profile.total[pattern] += 1;
+            profile.taken[pattern] += taken as u64;
+            hr.shift(taken);
         }
         profile
     }
@@ -351,6 +374,29 @@ mod tests {
         let empty = Trace::new();
         let mut st = StaticTraining::train(StaticTrainingConfig::paper_default(), &empty);
         assert!(st.predict(&cond(0x1000, false)));
+    }
+
+    #[test]
+    fn compiled_profile_collection_equals_record_collection() {
+        // A multi-site trace with interleaved sites and mixed outcomes:
+        // the streaming collector must reproduce the record collector's
+        // per-pattern counts exactly.
+        let mut trace = Trace::new();
+        for i in 0..500u32 {
+            let pc = 0x1000 + (i % 5) * 8;
+            trace.push(cond(pc, i % 3 != 0));
+            if i % 7 == 0 {
+                trace.push(BranchRecord::subroutine_return(0x3000, 0x4000));
+            }
+        }
+        let compiled = CompiledTrace::compile(&trace);
+        for bits in [4u8, 8, 12] {
+            assert_eq!(
+                TrainingProfile::collect_compiled(&compiled, bits),
+                TrainingProfile::collect(&trace, bits),
+                "history_bits {bits}"
+            );
+        }
     }
 
     #[test]

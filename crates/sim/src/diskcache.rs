@@ -3,9 +3,16 @@
 //! Generating a workload trace (assembling and interpreting an M88-lite
 //! program) dwarfs the cost of simulating predictors over it, yet every
 //! process used to regenerate all nine workloads from scratch. This
-//! module persists generated traces through the existing TLA2 binary
-//! codec so a second `tlat report` (or bench) run skips generation
-//! entirely.
+//! module persists generated traces through the TLA3 packet codec
+//! (branch-map compressed, see `tlat_trace::packet`) so a second
+//! `tlat report` (or bench) run skips generation entirely — and, via
+//! [`DiskCache::load_compiled`], can stream an entry straight into a
+//! [`CompiledTrace`] without materializing the per-branch records.
+//!
+//! Entries written by older builds in the TLA2 record format are still
+//! honoured: a miss on the `.tlat` name falls back to the legacy
+//! `.tla2` name, and a legacy hit is migrated in place (re-encoded as
+//! TLA3 under the new name, old file removed).
 //!
 //! Cache entries live under `target/tlat-cache/` by default, or the
 //! directory named by the `TLAT_TRACE_CACHE` environment variable
@@ -42,7 +49,7 @@ use crate::metrics::{self, Counter, Phase};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use tlat_trace::{codec, Trace};
+use tlat_trace::{codec, CompiledTrace, Trace};
 use tlat_workloads::DataSet;
 
 /// Environment variable naming the cache directory (or disabling the
@@ -89,8 +96,21 @@ impl TraceKey<'_> {
     }
 
     /// The cache file name for this key: human-skimmable prefix plus
-    /// the full fingerprint.
+    /// the full fingerprint. Entries are stored in the TLA3 packet
+    /// format under the `.tlat` extension.
     pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{:016x}.tlat",
+            self.workload,
+            self.role,
+            self.fingerprint()
+        )
+    }
+
+    /// The file name older builds used for the same key (TLA2 record
+    /// format). Only consulted as a fallback when the `.tlat` entry is
+    /// absent; a hit there is migrated to [`file_name`](Self::file_name).
+    pub fn legacy_file_name(&self) -> String {
         format!(
             "{}-{}-{:016x}.tla2",
             self.workload,
@@ -128,6 +148,17 @@ impl Fnv {
     pub(crate) fn finish(self) -> u64 {
         self.0
     }
+}
+
+/// What one entry's recovering read produced.
+enum ReadOutcome<T> {
+    /// The entry decoded; serve it.
+    Hit(T),
+    /// The file does not exist — try a fallback name or regenerate.
+    Cold,
+    /// The file exists but cannot be served (corrupt and evicted, or
+    /// I/O retries exhausted) — regenerate, do not fall back.
+    Gone,
 }
 
 /// A directory of codec-serialized traces.
@@ -178,36 +209,47 @@ impl DiskCache {
         self.root.join(key.file_name())
     }
 
+    /// The on-disk path older builds used for the same key (TLA2).
+    pub fn legacy_path_for(&self, key: &TraceKey<'_>) -> PathBuf {
+        self.root.join(key.legacy_file_name())
+    }
+
     /// Reads and decodes the entry at `path` once, without recovery.
-    /// This is the typed primitive [`load`](Self::load) builds its
-    /// retry/evict policy on.
-    fn try_read(&self, path: &Path) -> Result<Trace, SimError> {
-        match codec::read_file(path) {
-            Ok(trace) => Ok(trace),
-            Err(codec::FileError::Io(e)) => Err(SimError::Io {
-                context: format!("reading trace cache entry {}", path.display()),
-                source: e,
-            }),
-            Err(codec::FileError::Decode(e)) => Err(SimError::Corrupt {
+    /// This is the typed primitive the recovery loop builds its
+    /// retry/evict policy on. A successful decode counts the file's
+    /// size into [`Counter::CacheBytesRead`].
+    fn try_read_with<T>(
+        &self,
+        path: &Path,
+        decode: fn(&[u8]) -> Result<T, codec::DecodeError>,
+    ) -> Result<T, SimError> {
+        let bytes = std::fs::read(path).map_err(|e| SimError::Io {
+            context: format!("reading trace cache entry {}", path.display()),
+            source: e,
+        })?;
+        match decode(&bytes) {
+            Ok(decoded) => {
+                metrics::add(Counter::CacheBytesRead, bytes.len() as u64);
+                Ok(decoded)
+            }
+            Err(e) => Err(SimError::Corrupt {
                 path: path.to_path_buf(),
                 detail: e.to_string(),
             }),
         }
     }
 
-    /// Loads the cached trace for `key`, or `None` on a cold miss.
-    ///
-    /// Recovery policy (see the module docs): transient read errors
-    /// are retried with bounded backoff; a present-but-invalid file
-    /// (corrupt, truncated, wrong magic) is reported on stderr,
-    /// evicted, and treated as a miss so the caller regenerates it.
-    pub fn load(&self, key: &TraceKey<'_>) -> Option<Trace> {
-        let _span = metrics::span(Phase::CacheLoad);
-        let path = self.path_for(key);
-        let injected = self.faults.on_cache_load();
-        if injected == Some(CacheFault::Corrupt) {
-            truncate_in_place(&path);
-        }
+    /// One entry's full read policy (see the module docs): transient
+    /// read errors are retried with bounded backoff; a present-but-
+    /// invalid file (corrupt, truncated, wrong magic) is reported on
+    /// stderr, evicted, and read as [`ReadOutcome::Gone`] so the
+    /// caller regenerates it. A missing file is [`ReadOutcome::Cold`].
+    fn read_with_recovery<T>(
+        &self,
+        path: &Path,
+        injected: Option<CacheFault>,
+        decode: fn(&[u8]) -> Result<T, codec::DecodeError>,
+    ) -> ReadOutcome<T> {
         let mut attempt = 0u32;
         loop {
             let result = if injected == Some(CacheFault::Transient) && attempt == 0 {
@@ -219,18 +261,14 @@ impl DiskCache {
                     ),
                 })
             } else {
-                self.try_read(&path)
+                self.try_read_with(path, decode)
             };
             match result {
-                Ok(trace) => {
-                    metrics::bump(Counter::CacheHits);
-                    return Some(trace);
-                }
+                Ok(decoded) => return ReadOutcome::Hit(decoded),
                 Err(SimError::Io { source, .. })
                     if source.kind() == std::io::ErrorKind::NotFound =>
                 {
-                    metrics::bump(Counter::CacheMisses);
-                    return None; // cold miss: the common, silent case
+                    return ReadOutcome::Cold; // the common, silent case
                 }
                 Err(e @ SimError::Io { .. }) if attempt < READ_RETRIES => {
                     attempt += 1;
@@ -244,8 +282,7 @@ impl DiskCache {
                 }
                 Err(e @ SimError::Io { .. }) => {
                     eprintln!("warning: {e}; giving up on the cache entry and regenerating");
-                    metrics::bump(Counter::CacheMisses);
-                    return None;
+                    return ReadOutcome::Gone;
                 }
                 Err(e) => {
                     // Corrupt entry: evict (best-effort, no retry — a
@@ -253,8 +290,7 @@ impl DiskCache {
                     // next time too) and regenerate.
                     eprintln!("warning: {e}; evicting and regenerating");
                     metrics::bump(Counter::CacheEvictions);
-                    metrics::bump(Counter::CacheMisses);
-                    if let Err(unlink) = std::fs::remove_file(&path) {
+                    if let Err(unlink) = std::fs::remove_file(path) {
                         if unlink.kind() != std::io::ErrorKind::NotFound {
                             eprintln!(
                                 "warning: cannot evict corrupt cache entry {}: {unlink}",
@@ -262,10 +298,86 @@ impl DiskCache {
                             );
                         }
                     }
-                    return None;
+                    return ReadOutcome::Gone;
                 }
             }
         }
+    }
+
+    /// The shared load path: primary `.tlat` entry first, then the
+    /// legacy `.tla2` fallback. A legacy hit is migrated — re-encoded
+    /// as TLA3 under the primary name, old file removed — before
+    /// `from_legacy` shapes the decoded records into the caller's
+    /// type. Exactly one of `CacheHits`/`CacheMisses` is bumped per
+    /// call.
+    fn load_with<T>(
+        &self,
+        key: &TraceKey<'_>,
+        decode: fn(&[u8]) -> Result<T, codec::DecodeError>,
+        from_legacy: impl FnOnce(Trace) -> T,
+    ) -> Option<T> {
+        let _span = metrics::span(Phase::CacheLoad);
+        let path = self.path_for(key);
+        let injected = self.faults.on_cache_load();
+        if injected == Some(CacheFault::Corrupt) {
+            truncate_in_place(&path);
+        }
+        match self.read_with_recovery(&path, injected, decode) {
+            ReadOutcome::Hit(decoded) => {
+                metrics::bump(Counter::CacheHits);
+                return Some(decoded);
+            }
+            ReadOutcome::Gone => {
+                metrics::bump(Counter::CacheMisses);
+                return None;
+            }
+            ReadOutcome::Cold => {}
+        }
+        // The entry may predate the packet format: fall back to the
+        // legacy name (no fault injection there — the plan already
+        // fired on the primary read above).
+        let legacy = self.legacy_path_for(key);
+        match self.read_with_recovery(&legacy, None, codec::decode) {
+            ReadOutcome::Hit(trace) => {
+                metrics::bump(Counter::CacheHits);
+                self.store(key, &trace);
+                if let Err(unlink) = std::fs::remove_file(&legacy) {
+                    if unlink.kind() != std::io::ErrorKind::NotFound {
+                        eprintln!(
+                            "warning: cannot remove migrated cache entry {}: {unlink}",
+                            legacy.display()
+                        );
+                    }
+                }
+                Some(from_legacy(trace))
+            }
+            ReadOutcome::Cold | ReadOutcome::Gone => {
+                metrics::bump(Counter::CacheMisses);
+                None
+            }
+        }
+    }
+
+    /// Loads the cached trace for `key`, or `None` on a cold miss.
+    ///
+    /// Recovery policy (see the module docs): transient read errors
+    /// are retried with bounded backoff; a present-but-invalid file
+    /// (corrupt, truncated, wrong magic) is reported on stderr,
+    /// evicted, and treated as a miss so the caller regenerates it.
+    pub fn load(&self, key: &TraceKey<'_>) -> Option<Trace> {
+        self.load_with(key, codec::decode, |trace| trace)
+    }
+
+    /// Loads the entry for `key` decoded straight into a
+    /// [`CompiledTrace`] — the packet stream's site table and branch
+    /// maps are consumed in place, so the per-branch record vector is
+    /// never materialized. Recovery policy and counters match
+    /// [`load`](Self::load); a legacy TLA2 hit decodes as records,
+    /// migrates, and compiles.
+    pub fn load_compiled(&self, key: &TraceKey<'_>) -> Option<CompiledTrace> {
+        self.load_with(key, codec::decode_compiled, |trace| {
+            CompiledTrace::compile(&trace)
+        })
     }
 
     /// Stores `trace` under `key`. Best-effort: an I/O failure is
@@ -278,10 +390,12 @@ impl DiskCache {
             return; // cache writing already shut off for this process
         }
         let path = self.path_for(key);
+        let bytes = codec::encode_v3(trace);
         let write = std::fs::create_dir_all(&self.root)
-            .and_then(|()| codec::write_file_atomic(&path, trace));
+            .and_then(|()| codec::write_bytes_atomic(&path, &bytes));
         match write {
             Ok(()) => {
+                metrics::add(Counter::CacheBytesWritten, bytes.len() as u64);
                 self.strikes.store(0, Ordering::Relaxed);
             }
             Err(e) => {
@@ -341,6 +455,82 @@ mod tests {
         assert!(cache.load(&k).is_none(), "cold cache must miss");
         cache.store(&k, &trace);
         assert_eq!(cache.load(&k).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_are_stored_in_the_packet_format() {
+        let dir = scratch_dir("tla3");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 2, 1);
+        let trace = SyntheticStream::mixed(0x7a3, 12).generate(300);
+        let k = key(&input, 300);
+        cache.store(&k, &trace);
+        let bytes = std::fs::read(cache.path_for(&k)).unwrap();
+        assert!(bytes.starts_with(b"TLA3"), "store must write TLA3");
+        assert_eq!(bytes, codec::encode_v3(&trace));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_tla2_entries_hit_and_migrate() {
+        let dir = scratch_dir("migrate");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 9, 2);
+        let trace = SyntheticStream::mixed(0x123, 16).generate(400);
+        let k = key(&input, 400);
+        // Seed the entry the way an older build would have written it:
+        // TLA2 record bytes under the `.tla2` name.
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy = cache.legacy_path_for(&k);
+        std::fs::write(&legacy, codec::encode(&trace)).unwrap();
+        assert_eq!(cache.load(&k).unwrap(), trace, "legacy entry must hit");
+        assert!(!legacy.exists(), "legacy entry must be removed after migration");
+        let migrated = std::fs::read(cache.path_for(&k)).unwrap();
+        assert!(
+            migrated.starts_with(b"TLA3"),
+            "a legacy hit must re-encode as TLA3 under the new name"
+        );
+        // The migrated entry then serves directly.
+        assert_eq!(cache.load(&k).unwrap(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compiled_loads_match_compiling_the_records() {
+        let dir = scratch_dir("compiled");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 4, 2);
+        let trace = SyntheticStream::mixed(0xc0de, 24).generate(600);
+        let k = key(&input, 600);
+        assert!(cache.load_compiled(&k).is_none(), "cold cache must miss");
+        cache.store(&k, &trace);
+        assert_eq!(
+            cache.load_compiled(&k).unwrap(),
+            CompiledTrace::compile(&trace)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compiled_loads_migrate_legacy_entries_too() {
+        let dir = scratch_dir("compiled-migrate");
+        let cache = DiskCache::new(&dir);
+        let input = DataSet::new("unit", 6, 2);
+        let trace = SyntheticStream::mixed(0xfade, 8).generate(350);
+        let k = key(&input, 350);
+        std::fs::create_dir_all(&dir).unwrap();
+        let legacy = cache.legacy_path_for(&k);
+        std::fs::write(&legacy, codec::encode(&trace)).unwrap();
+        assert_eq!(
+            cache.load_compiled(&k).unwrap(),
+            CompiledTrace::compile(&trace)
+        );
+        assert!(!legacy.exists());
+        assert!(
+            std::fs::read(cache.path_for(&k)).unwrap().starts_with(b"TLA3"),
+            "legacy compiled hit must migrate the entry"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

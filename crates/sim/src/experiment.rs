@@ -11,7 +11,9 @@ use crate::config::{SchemeConfig, TrainingData};
 use crate::engine::simulate;
 use crate::error::lock_unpoisoned;
 use crate::faults::Faults;
-use crate::gang::{gang_simulate_isolated_precompiled, GangLane};
+use crate::gang::{
+    gang_simulate_isolated_compiled, gang_simulate_isolated_precompiled, GangLane,
+};
 use crate::journal::{self, SweepJournal};
 use crate::metrics::{self, CellOutcome, Counter, Phase};
 use crate::stats::SimResult;
@@ -45,10 +47,25 @@ struct TrainedCache {
     /// `workload` → trained profiling predictor (always trained on the
     /// test trace; lanes take a clone).
     profilers: HashMap<String, Arc<ProfilePredictor>>,
-    /// `workload` → compiled event stream of its test trace (see
-    /// [`CompiledTrace`]); every gang walk over the workload shares it
-    /// instead of recompiling.
-    compiled: HashMap<String, Arc<CompiledTrace>>,
+}
+
+/// Whether a configuration's gang lane consumes only the compiled
+/// event stream — no raw [`BranchRecord`](tlat_trace::BranchRecord)
+/// walk anywhere, including training. These are the lanes the
+/// streaming sweep path ([`gang_simulate_isolated_compiled`]) may
+/// carry; dyn schemes and Diff training (whose training pass reads a
+/// second, record-form trace) need the record path.
+fn lane_streams(config: &SchemeConfig) -> bool {
+    matches!(
+        config,
+        SchemeConfig::TwoLevel(_)
+            | SchemeConfig::LeeSmith(_)
+            | SchemeConfig::StaticTraining {
+                data: TrainingData::Same,
+                ..
+            }
+            | SchemeConfig::Profile
+    )
 }
 
 /// The experiment harness: workloads + shared trace store.
@@ -302,37 +319,73 @@ impl Harness {
         wi: usize,
     ) -> Vec<(usize, Cell)> {
         let workload = &self.workloads[wi];
-        let test = match self.store.try_test(workload) {
-            Ok(test) => test,
+        let fail_column = |e: &dyn std::fmt::Display| {
             // The whole column shares one failure cause (e.g. the
             // workload faulted or its trace cannot be generated).
-            Err(e) => {
-                let message = e.to_string();
-                eprintln!("warning: {message}; failing {}'s cells", workload.name);
-                return missing
-                    .iter()
-                    .map(|&ci| (ci, Cell::Failed(message.clone())))
-                    .collect();
-            }
+            let message = e.to_string();
+            eprintln!("warning: {message}; failing {}'s cells", workload.name);
+            missing
+                .iter()
+                .map(|&ci| (ci, Cell::Failed(message.clone())))
+                .collect::<Vec<_>>()
         };
-        let compiled = self.compiled_stream(workload, &test);
+        let cell_fault = |mi: usize| {
+            let ci = missing[mi];
+            // Stable cell id for deterministic fault injection:
+            // independent of scheduling AND of which cells a resume
+            // still has to compute.
+            let cell = (wi * configs.len() + ci) as u64;
+            self.faults
+                .maybe_panic_cell(cell, &format!("{}/{}", configs[ci].label(), workload.name));
+            ci
+        };
+        // When every missing lane consumes the compiled stream, take
+        // the streaming path: a warm TLA3 cache entry decodes straight
+        // into the stream and the per-branch record vector is never
+        // materialized. Any record-consuming lane (a dyn scheme, or
+        // Diff training, whose training pass walks records) keeps the
+        // record path for the whole column — one walk, one trace form.
+        if missing.iter().all(|&ci| lane_streams(&configs[ci])) {
+            let compiled = match self.store.try_test_compiled(workload) {
+                Ok(compiled) => compiled,
+                Err(e) => return fail_column(&e),
+            };
+            let outcomes = gang_simulate_isolated_compiled(
+                missing.len(),
+                |mi| {
+                    let ci = cell_fault(mi);
+                    self.build_lane_compiled(&configs[ci], workload, &compiled)
+                },
+                &compiled,
+            );
+            return Self::outcome_cells(missing, outcomes);
+        }
+        let test = match self.store.try_test(workload) {
+            Ok(test) => test,
+            Err(e) => return fail_column(&e),
+        };
+        let compiled = match self.store.try_test_compiled(workload) {
+            Ok(compiled) => compiled,
+            Err(e) => return fail_column(&e),
+        };
         let outcomes = gang_simulate_isolated_precompiled(
             missing.len(),
             |mi| {
-                let ci = missing[mi];
-                // Stable cell id for deterministic fault injection:
-                // independent of scheduling AND of which cells a resume
-                // still has to compute.
-                let cell = (wi * configs.len() + ci) as u64;
-                self.faults.maybe_panic_cell(
-                    cell,
-                    &format!("{}/{}", configs[ci].label(), workload.name),
-                );
+                let ci = cell_fault(mi);
                 self.build_lane(&configs[ci], workload, &test)
             },
             &test,
             Some(&compiled),
         );
+        Self::outcome_cells(missing, outcomes)
+    }
+
+    /// Zips the per-lane isolation outcomes back onto their config
+    /// indices as report cells.
+    fn outcome_cells(
+        missing: &[usize],
+        outcomes: Vec<crate::gang::IsolatedLane>,
+    ) -> Vec<(usize, Cell)> {
         missing
             .iter()
             .zip(outcomes)
@@ -399,28 +452,67 @@ impl Harness {
         }
     }
 
-    /// The memoized compiled event stream of a workload's test trace.
-    /// Compiled once per workload per harness; every later gang walk —
-    /// of this sweep or any other — reuses it.
-    fn compiled_stream(&self, workload: &Workload, test: &Arc<Trace>) -> Arc<CompiledTrace> {
-        if let Some(c) = lock_unpoisoned(&self.trained).compiled.get(workload.name) {
-            return Arc::clone(c);
+    /// [`build_lane`](Self::build_lane) for the streaming path: the
+    /// trained schemes collect their artifacts from the compiled
+    /// stream ([`TrainingProfile::collect_compiled`],
+    /// [`ProfilePredictor::train_compiled`] — identical to the record
+    /// passes, pinned by tests) through the same memo maps, so a
+    /// record-path sweep over the same workload reuses them and vice
+    /// versa. Callers gate on [`lane_streams`]; only streamable
+    /// configurations reach here.
+    fn build_lane_compiled(
+        &self,
+        config: &SchemeConfig,
+        workload: &Workload,
+        compiled: &Arc<CompiledTrace>,
+    ) -> Option<GangLane> {
+        match config {
+            SchemeConfig::StaticTraining {
+                history_bits,
+                hrt,
+                data: data @ TrainingData::Same,
+            } => {
+                let key = (workload.name.to_owned(), false, *history_bits);
+                let memoized = lock_unpoisoned(&self.trained).profiles.get(&key).map(Arc::clone);
+                let profile = memoized.unwrap_or_else(|| {
+                    // Collected outside the lock so concurrent
+                    // workloads don't serialize; a racing duplicate
+                    // computes the same pure function and the entry
+                    // API keeps the first insertion.
+                    let profile =
+                        Arc::new(TrainingProfile::collect_compiled(compiled, *history_bits));
+                    let mut cache = lock_unpoisoned(&self.trained);
+                    Arc::clone(cache.profiles.entry(key).or_insert(profile))
+                });
+                let st_config = StaticTrainingConfig {
+                    history_bits: *history_bits,
+                    hrt: *hrt,
+                    data: data.label().to_owned(),
+                };
+                Some(GangLane::StaticTraining(StaticTraining::with_profile(
+                    st_config, &profile,
+                )))
+            }
+            SchemeConfig::Profile => {
+                let memoized = lock_unpoisoned(&self.trained)
+                    .profilers
+                    .get(workload.name)
+                    .map(Arc::clone);
+                let profiler = memoized.unwrap_or_else(|| {
+                    let trained = Arc::new(ProfilePredictor::train_compiled(compiled));
+                    let mut cache = lock_unpoisoned(&self.trained);
+                    Arc::clone(
+                        cache
+                            .profilers
+                            .entry(workload.name.to_owned())
+                            .or_insert(trained),
+                    )
+                });
+                Some(GangLane::Profile((*profiler).clone()))
+            }
+            // The remaining streamable schemes (AT, LS) train nothing.
+            other => Some(GangLane::from_config(other, None)),
         }
-        // Compiled outside the lock so concurrent workloads don't
-        // serialize; a racing duplicate compiles the same pure function
-        // and the entry API keeps the first insertion.
-        let compiled = {
-            let _span = metrics::span(Phase::StreamCompile);
-            Arc::new(CompiledTrace::compile(test))
-        };
-        metrics::add(Counter::SitesInterned, compiled.num_sites() as u64);
-        let mut cache = lock_unpoisoned(&self.trained);
-        Arc::clone(
-            cache
-                .compiled
-                .entry(workload.name.to_owned())
-                .or_insert(compiled),
-        )
     }
 
     /// The memoized Static Training profile for a workload. `None` when

@@ -298,10 +298,32 @@ pub fn gang_simulate_precompiled(
     compiled: &CompiledTrace,
     options: SimOptions,
 ) -> Vec<SimResult> {
+    gang_simulate_compiled(lanes, compiled, Some(trace), options)
+}
+
+/// The compiled-stream gang walk proper: every monomorphized lane is
+/// fed from `compiled` alone. `dyn_source` supplies the raw record
+/// stream for dyn lanes (and dyn-only gangs); the streaming sweep path
+/// — where a TLA3 cache entry was decoded straight into `compiled` and
+/// the records were never materialized — passes `None`, which is valid
+/// exactly when every lane is monomorphized.
+///
+/// # Panics
+///
+/// Panics if a [`GangLane::Dyn`] lane is present and `dyn_source` is
+/// `None` (callers gate on lane kinds before taking the record-free
+/// path).
+pub fn gang_simulate_compiled(
+    lanes: &mut [GangLane],
+    compiled: &CompiledTrace,
+    dyn_source: Option<&Trace>,
+    options: SimOptions,
+) -> Vec<SimResult> {
     let any_compiled = lanes
         .iter()
         .any(|lane| !matches!(lane, GangLane::Dyn(_)));
     if !any_compiled {
+        let trace = dyn_source.expect("a dyn-only gang needs the record stream");
         return gang_simulate_records(lanes, trace, options);
     }
     metrics::bump(Counter::TraceWalks);
@@ -699,6 +721,7 @@ pub fn gang_simulate_precompiled(
     // observes only its own predict/update sequence, so feeding them in
     // a second pass changes nothing for any lane.
     if !dyn_lanes.is_empty() {
+        let trace = dyn_source.expect("dyn lanes need the record stream");
         for branch in trace.iter() {
             if !matches!(branch.class, BranchClass::Conditional) {
                 continue;
@@ -809,10 +832,40 @@ pub fn gang_simulate_isolated_precompiled<F>(
 where
     F: Fn(usize) -> Option<GangLane>,
 {
-    let walk = |lanes: &mut [GangLane]| match compiled {
+    isolated_walk(n_lanes, build, |lanes| match compiled {
         Some(stream) => gang_simulate_precompiled(lanes, trace, stream, SimOptions::default()),
         None => gang_simulate_with(lanes, trace, SimOptions::default()),
-    };
+    })
+}
+
+/// [`gang_simulate_isolated`] over a compiled event stream alone — no
+/// record trace exists anywhere in the walk. This is the sweep
+/// drivers' streaming path ([`gang_simulate_compiled`] with
+/// `dyn_source: None`): every built lane must be monomorphized, which
+/// the callers guarantee by gating on the scheme kinds before choosing
+/// this entry point.
+pub fn gang_simulate_isolated_compiled<F>(
+    n_lanes: usize,
+    build: F,
+    compiled: &CompiledTrace,
+) -> Vec<IsolatedLane>
+where
+    F: Fn(usize) -> Option<GangLane>,
+{
+    isolated_walk(n_lanes, build, |lanes| {
+        gang_simulate_compiled(lanes, compiled, None, SimOptions::default())
+    })
+}
+
+/// The shared per-lane isolation harness (see
+/// [`gang_simulate_isolated`] for the policy): builds lanes under
+/// `catch_unwind`, runs `walk` once over the survivors, and re-runs
+/// each lane solo if the shared walk panics.
+fn isolated_walk<F, W>(n_lanes: usize, build: F, walk: W) -> Vec<IsolatedLane>
+where
+    F: Fn(usize) -> Option<GangLane>,
+    W: Fn(&mut [GangLane]) -> Vec<SimResult>,
+{
     let mut outcomes: Vec<IsolatedLane> = Vec::with_capacity(n_lanes);
     let mut lanes: Vec<GangLane> = Vec::new();
     let mut lane_of: Vec<usize> = Vec::new();
@@ -896,6 +949,35 @@ mod tests {
                 config.label()
             );
             assert_eq!(gang_result.ras, solo_result.ras, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn record_free_compiled_walk_matches_the_reference() {
+        // The streaming path hands the walk a compiled stream and no
+        // record trace at all; for every streamable lane kind the
+        // results must still be bit-identical to the record reference.
+        let trace = SyntheticStream::mixed(0xfeed, 32).generate(6_000);
+        let compiled = CompiledTrace::compile(&trace);
+        let options = SimOptions { ras_entries: 16 };
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+            SchemeConfig::st(HrtConfig::ahrt(512), 12, TrainingData::Same),
+            SchemeConfig::Profile,
+        ];
+        let build = |trace: &Trace| -> Vec<GangLane> {
+            configs
+                .iter()
+                .map(|c| GangLane::from_config(c, Some(trace)))
+                .collect()
+        };
+        let free = gang_simulate_compiled(&mut build(&trace), &compiled, None, options);
+        let reference = gang_simulate_records(&mut build(&trace), &trace, options);
+        for ((a, b), config) in free.iter().zip(&reference).zip(&configs) {
+            assert_eq!(a.conditional, b.conditional, "{}", config.label());
+            assert_eq!(a.ras, b.ras, "{}", config.label());
         }
     }
 

@@ -23,7 +23,7 @@ use crate::pool;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use tlat_trace::Trace;
+use tlat_trace::{CompiledTrace, Trace};
 use tlat_workloads::Workload;
 
 /// Default conditional-branch budget per benchmark.
@@ -79,11 +79,21 @@ impl Which {
 /// a later request (e.g. after fixing permissions) can try again.
 type Slot = Arc<Mutex<Option<Arc<Trace>>>>;
 
+/// Memoization slot for a compiled test-trace event stream (same
+/// in-flight-dedupe discipline as [`Slot`]).
+type CompiledSlot = Arc<Mutex<Option<Arc<CompiledTrace>>>>;
+
 /// A lazy, memoizing store of workload traces.
 #[derive(Debug)]
 pub struct TraceStore {
     budget: u64,
     cache: Mutex<HashMap<(String, Which), Slot>>,
+    /// Compiled test-trace event streams, keyed by workload name.
+    /// Deliberately separate from the record memo: the streaming path
+    /// ([`try_test_compiled`](Self::try_test_compiled)) decodes disk
+    /// entries straight into a [`CompiledTrace`] and must not pin the
+    /// per-branch record vector in memory alongside it.
+    compiled: Mutex<HashMap<String, CompiledSlot>>,
     disk: Option<DiskCache>,
     /// Workload interpretations actually performed (disk-cache hits and
     /// in-memory hits do not count). Lets tests assert a warm cache
@@ -98,6 +108,7 @@ impl TraceStore {
         TraceStore {
             budget,
             cache: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(HashMap::new()),
             disk: None,
             generations: AtomicU64::new(0),
         }
@@ -188,6 +199,82 @@ impl TraceStore {
         self.try_train(workload).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// The compiled event stream of `workload`'s test trace,
+    /// memoized per workload.
+    ///
+    /// This is the gang sweeps' streaming path: a warm TLA3 disk entry
+    /// is decoded straight into the [`CompiledTrace`] — site table,
+    /// packed outcome bits, per-site tallies — without ever
+    /// materializing the per-branch record vector, which at the
+    /// paper's twenty-million-branch budget dwarfs the stream itself.
+    /// The record memo is consulted (never populated) so an
+    /// already-resident test trace compiles in memory instead of
+    /// re-reading disk.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Workload`] if the trace must be generated and the
+    /// workload program faults.
+    pub fn try_test_compiled(&self, workload: &Workload) -> Result<Arc<CompiledTrace>, SimError> {
+        let slot = {
+            let mut compiled = lock_unpoisoned(&self.compiled);
+            Arc::clone(compiled.entry(workload.name.to_owned()).or_default())
+        };
+        let mut guard = lock_unpoisoned(&slot);
+        if let Some(hit) = guard.as_ref() {
+            return Ok(Arc::clone(hit));
+        }
+        // A test trace already resident in the record memo compiles
+        // directly — no disk read can beat memory.
+        if let Some(test) = self.peek_test(workload) {
+            let compiled = Arc::new(compile_records(&test));
+            *guard = Some(Arc::clone(&compiled));
+            return Ok(compiled);
+        }
+        let input = workload.test_input();
+        let key = TraceKey {
+            workload: workload.name,
+            role: Which::Test.role(),
+            input,
+            budget: self.budget,
+        };
+        if let Some(streamed) = self.disk.as_ref().and_then(|disk| disk.load_compiled(&key)) {
+            metrics::add(Counter::SitesInterned, streamed.num_sites() as u64);
+            let compiled = Arc::new(streamed);
+            *guard = Some(Arc::clone(&compiled));
+            return Ok(compiled);
+        }
+        // Cold cache: generate the records once (persisting them for
+        // next time), compile, and drop the record vector — it is not
+        // memoized on this path on purpose.
+        let test = self.generate(workload, Which::Test, &key)?;
+        let compiled = Arc::new(compile_records(&test));
+        *guard = Some(Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// [`try_test_compiled`](Self::try_test_compiled), panicking on
+    /// workload faults (scripts and benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload program faults (a workload bug).
+    pub fn test_compiled(&self, workload: &Workload) -> Arc<CompiledTrace> {
+        self.try_test_compiled(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The memoized test trace, if one is already resident. Blocks on
+    /// an in-flight generation of the same trace, but never starts
+    /// one.
+    fn peek_test(&self, workload: &Workload) -> Option<Arc<Trace>> {
+        let slot = lock_unpoisoned(&self.cache)
+            .get(&(workload.name.to_owned(), Which::Test))
+            .map(Arc::clone)?;
+        let guard = lock_unpoisoned(&slot);
+        guard.as_ref().map(Arc::clone)
+    }
+
     fn get(&self, workload: &Workload, which: Which) -> Result<Arc<Trace>, SimError> {
         let slot = {
             let mut cache = lock_unpoisoned(&self.cache);
@@ -221,6 +308,17 @@ impl TraceStore {
         if let Some(cached) = self.disk.as_ref().and_then(|disk| disk.load(&key)) {
             return Ok(cached);
         }
+        self.generate(workload, which, &key)
+    }
+
+    /// Interprets the workload program (the expensive path) and
+    /// persists the result.
+    fn generate(
+        &self,
+        workload: &Workload,
+        which: Which,
+        key: &TraceKey<'_>,
+    ) -> Result<Trace, SimError> {
         self.generations.fetch_add(1, Ordering::Relaxed);
         metrics::bump(Counter::TraceGenerations);
         let _span = metrics::span(Phase::TraceGen);
@@ -232,7 +330,7 @@ impl TraceStore {
         }
         .map_err(|e| SimError::workload(workload.name, e))?;
         if let Some(disk) = &self.disk {
-            disk.store(&key, &trace);
+            disk.store(key, &trace);
         }
         Ok(trace)
     }
@@ -250,6 +348,18 @@ impl TraceStore {
             self.train(w);
         });
     }
+}
+
+/// Compiles a record trace into an event stream, with the same
+/// accounting the streaming decode gets (`StreamCompile` span,
+/// interned-site counter).
+fn compile_records(trace: &Trace) -> CompiledTrace {
+    let compiled = {
+        let _span = metrics::span(Phase::StreamCompile);
+        CompiledTrace::compile(trace)
+    };
+    metrics::add(Counter::SitesInterned, compiled.num_sites() as u64);
+    compiled
 }
 
 #[cfg(test)]
@@ -345,6 +455,57 @@ mod tests {
         let regenerated = recovered.test(&w);
         assert_eq!(*original, *regenerated, "regeneration must be deterministic");
         assert_eq!(recovered.generations(), 1, "corrupt entry must regenerate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compiled_streams_are_memoized_and_match_the_records() {
+        let store = TraceStore::new(1_200);
+        let w = by_name("eqntott").unwrap();
+        let a = store.test_compiled(&w);
+        let b = store.try_test_compiled(&w).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        assert_eq!(*a, CompiledTrace::compile(&store.test(&w)));
+    }
+
+    #[test]
+    fn warm_disk_cache_streams_compiled_without_records() {
+        let dir = scratch_dir("stream");
+        let w = by_name("matrix300").unwrap();
+        let cold = TraceStore::new(1_000).with_disk_cache(&dir);
+        let reference = CompiledTrace::compile(&cold.test(&w));
+        // A fresh store over the same directory: the compiled stream
+        // comes off disk with zero workload interpretations and —
+        // the point of the streaming decode — without populating the
+        // record memo.
+        let warm = TraceStore::new(1_000).with_disk_cache(&dir);
+        let streamed = warm.test_compiled(&w);
+        assert_eq!(*streamed, reference);
+        assert_eq!(warm.generations(), 0, "warm cache must skip generation");
+        assert!(
+            warm.peek_test(&w).is_none(),
+            "streaming decode must not materialize the record trace"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_compiled_lookup_generates_and_persists_without_record_memo() {
+        let dir = scratch_dir("stream-cold");
+        let w = by_name("eqntott").unwrap();
+        let store = TraceStore::new(900).with_disk_cache(&dir);
+        let compiled = store.test_compiled(&w);
+        assert_eq!(store.generations(), 1);
+        assert!(
+            store.peek_test(&w).is_none(),
+            "cold streaming path must not memoize the records"
+        );
+        // The generation persisted: a second store streams it back.
+        let warm = TraceStore::new(900).with_disk_cache(&dir);
+        assert_eq!(*warm.test_compiled(&w), *compiled);
+        assert_eq!(warm.generations(), 0);
+        // And the record path still agrees.
+        assert_eq!(*compiled, CompiledTrace::compile(&store.test(&w)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

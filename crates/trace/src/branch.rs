@@ -42,7 +42,7 @@ impl BranchClass {
         }
     }
 
-    fn code(self) -> u8 {
+    pub(crate) fn code(self) -> u8 {
         match self {
             BranchClass::Conditional => 0,
             BranchClass::Return => 1,
@@ -51,7 +51,7 @@ impl BranchClass {
         }
     }
 
-    fn from_code(code: u8) -> Option<Self> {
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
         Some(match code {
             0 => BranchClass::Conditional,
             1 => BranchClass::Return,

@@ -89,6 +89,8 @@ pub fn decode(input: &[u8]) -> Result<Trace, DecodeError> {
         true
     } else if input.rest()[..4] == MAGIC_V1 {
         false
+    } else if input.rest()[..4] == crate::packet::MAGIC {
+        return crate::packet::decode(input.rest());
     } else {
         return Err(DecodeError::BadMagic);
     };
@@ -155,7 +157,8 @@ impl fmt::Display for FileError {
 impl Error for FileError {}
 
 /// Reads and decodes a binary trace file written by
-/// [`write_file_atomic`] (or any [`encode`] output).
+/// [`write_file_atomic`] (or any [`encode`] / [`encode_v3`] output —
+/// all three on-disk formats decode here).
 ///
 /// # Errors
 ///
@@ -167,9 +170,48 @@ pub fn read_file(path: &std::path::Path) -> Result<Trace, FileError> {
     decode(&bytes).map_err(FileError::Decode)
 }
 
-/// Encodes `trace` and writes it to `path` via a same-directory
-/// temporary file and a rename, so concurrent readers never observe a
-/// half-written trace (they see either the old file or the new one).
+/// Serializes a trace in the TLA3 packet format (see
+/// [`crate::packet`]) — the format the disk cache writes. [`decode`]
+/// and [`read_file`] read it back alongside TLA1/TLA2.
+pub fn encode_v3(trace: &Trace) -> Vec<u8> {
+    crate::packet::encode(trace)
+}
+
+/// Decodes any of the three binary formats straight into a
+/// [`crate::CompiledTrace`]: TLA3 takes the streaming path (no
+/// per-record vector is materialized), TLA1/TLA2 decode records and
+/// compile them.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] as [`decode`] would.
+pub fn decode_compiled(input: &[u8]) -> Result<crate::CompiledTrace, DecodeError> {
+    if input.len() >= 4 && input[..4] == crate::packet::MAGIC {
+        crate::packet::decode_compiled(input)
+    } else {
+        decode(input).map(|trace| crate::CompiledTrace::compile(&trace))
+    }
+}
+
+/// Temporary-file name for an atomic write of `path`: unique per
+/// process (pid) *and* per call (a process-wide counter), so two
+/// threads writing the same path never clobber each other's
+/// temporary file mid-write.
+fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::path::PathBuf::from(tmp)
+}
+
+/// Writes `bytes` to `path` via a same-directory temporary file and a
+/// rename, so concurrent readers never observe a half-written file
+/// (they see either the old file or the new one).
 ///
 /// The temporary file is fsynced before the rename: without it, a
 /// crash shortly after the rename can leave the *new name* pointing at
@@ -181,15 +223,12 @@ pub fn read_file(path: &std::path::Path) -> Result<Trace, FileError> {
 /// # Errors
 ///
 /// Propagates any I/O error; the temporary file is removed on failure.
-pub fn write_file_atomic(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+pub fn write_bytes_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write;
-    let bytes = encode(trace);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp{}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp);
+    let tmp = tmp_path(path);
     let write = || -> std::io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
+        file.write_all(bytes)?;
         file.sync_all()?;
         std::fs::rename(&tmp, path)
     };
@@ -204,6 +243,16 @@ pub fn write_file_atomic(path: &std::path::Path, trace: &Trace) -> std::io::Resu
         }
     }
     Ok(())
+}
+
+/// [`encode`]s `trace` (format v2) and writes it atomically; see
+/// [`write_bytes_atomic`].
+///
+/// # Errors
+///
+/// Propagates any I/O error; the temporary file is removed on failure.
+pub fn write_file_atomic(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    write_bytes_atomic(path, &encode(trace))
 }
 
 #[cfg(test)]
@@ -276,6 +325,70 @@ mod tests {
         assert!(DecodeError::BadRecord { index: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    #[test]
+    fn decode_dispatches_on_the_tla3_magic() {
+        let t = sample_trace();
+        let bytes = encode_v3(&t);
+        assert_eq!(decode(&bytes).unwrap(), t);
+        // And the compiled fast path agrees with compile-after-decode,
+        // for every format.
+        let compiled = crate::CompiledTrace::compile(&t);
+        assert_eq!(decode_compiled(&bytes).unwrap(), compiled);
+        assert_eq!(decode_compiled(&encode(&t)).unwrap(), compiled);
+    }
+
+    #[test]
+    fn tmp_names_are_unique_within_a_process() {
+        // Regression: the temp file used to be named `.tmp<pid>` only,
+        // so two threads writing the same path clobbered each other's
+        // half-written file. The suffix now carries a per-process
+        // counter as well.
+        let path = std::path::Path::new("/x/y/trace.tla2");
+        let a = tmp_path(path);
+        let b = tmp_path(path);
+        assert_ne!(a, b);
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with(&format!("trace.tla2.tmp{}.", std::process::id())),
+            "{name}"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_tear_the_file() {
+        let dir = std::env::temp_dir().join(format!("tlat-codec-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.tla2");
+        let traces: Vec<Trace> = (0..4)
+            .map(|i| {
+                (0..50 + i * 10)
+                    .map(|j| BranchRecord::conditional(0x1000 + j * 4, 0x800, j % 2 == 0))
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for t in &traces {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        write_file_atomic(&path, t).unwrap();
+                    }
+                });
+            }
+        });
+        // Whichever write landed last, the file is a complete valid
+        // trace equal to one of the writers' payloads.
+        let back = read_file(&path).unwrap();
+        assert!(traces.contains(&back));
+        // No temporary files were left behind.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

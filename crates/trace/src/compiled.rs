@@ -47,7 +47,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// fold (the low bits pick the bucket, and a bare multiply leaves them
 /// dependent only on the low, always-zero key bits) is plenty.
 #[derive(Default)]
-struct PcHasher(u64);
+pub(crate) struct PcHasher(u64);
 
 impl Hasher for PcHasher {
     fn finish(&self) -> u64 {
@@ -66,7 +66,7 @@ impl Hasher for PcHasher {
     }
 }
 
-type PcMap = HashMap<u32, SiteId, BuildHasherDefault<PcHasher>>;
+pub(crate) type PcMap = HashMap<u32, SiteId, BuildHasherDefault<PcHasher>>;
 
 /// Dense id of one static conditional branch within a compiled trace,
 /// assigned in first-appearance order (the first distinct pc is site 0,
@@ -354,6 +354,91 @@ impl CompiledTrace {
             .iter()
             .zip(self.outcomes.iter())
             .map(|(&site, taken)| (site, taken))
+    }
+}
+
+/// Incremental [`CompiledTrace`] construction for the TLA3 streaming
+/// decoder: packets lower straight into the compiled stream without a
+/// record trace in between, so the builder must reproduce
+/// [`CompiledTrace::compile`]'s semantics event-by-event — interning
+/// order (the format's dense site ids already arrive in
+/// first-appearance order), per-site counters, run counting, RAS event
+/// ordering (a return that is also a call verifies before pushing),
+/// and the per-record gap vector.
+#[derive(Debug, Default)]
+pub(crate) struct CompiledBuilder {
+    c: CompiledTrace,
+}
+
+impl CompiledBuilder {
+    /// A builder pre-sized for `n_cond` conditional events and
+    /// `n_records` branch records. Callers cap both with a bound
+    /// derived from the input size, so a hostile header cannot drive an
+    /// over-allocation.
+    pub(crate) fn with_capacity(n_cond: usize, n_records: usize) -> Self {
+        CompiledBuilder {
+            c: CompiledTrace {
+                site_pcs: Vec::new(),
+                cond_sites: Vec::with_capacity(n_cond),
+                outcomes: PackedBits::with_capacity(n_cond),
+                ras: Vec::new(),
+                gaps: Vec::with_capacity(n_records),
+                site_taken: Vec::new(),
+                site_counts: Vec::new(),
+                site_runs: 0,
+            },
+        }
+    }
+
+    /// Interns the next site (dense ids are assigned in call order,
+    /// which the TLA3 format guarantees is first-appearance order).
+    pub(crate) fn define_site(&mut self, pc: u32) {
+        self.c.site_pcs.push(pc);
+        self.c.site_taken.push(0);
+        self.c.site_counts.push(0);
+    }
+
+    /// Appends one conditional event at an already-defined site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` was never defined; the decoder bounds-checks
+    /// site references before calling.
+    pub(crate) fn cond(&mut self, site: SiteId, taken: bool, call: bool, gap: u32) {
+        let s = site as usize;
+        self.c.site_taken[s] += taken as u64;
+        self.c.site_counts[s] += 1;
+        if self.c.cond_sites.last() != Some(&site) {
+            self.c.site_runs += 1;
+        }
+        self.c.cond_sites.push(site);
+        self.c.outcomes.push(taken);
+        self.c.gaps.push(gap);
+        if call {
+            self.c.ras.push(RasEvent::Push {
+                return_addr: self.c.site_pcs[s].wrapping_add(4),
+            });
+        }
+    }
+
+    /// Appends one non-conditional branch record's effects: a RAS
+    /// verify for returns, a RAS push for calls (in that order), and
+    /// the record's gap.
+    pub(crate) fn other(&mut self, class: BranchClass, pc: u32, target: u32, call: bool, gap: u32) {
+        if class == BranchClass::Return {
+            self.c.ras.push(RasEvent::Verify { target });
+        }
+        if call {
+            self.c.ras.push(RasEvent::Push {
+                return_addr: pc.wrapping_add(4),
+            });
+        }
+        self.c.gaps.push(gap);
+    }
+
+    /// The finished compiled stream.
+    pub(crate) fn finish(self) -> CompiledTrace {
+        self.c
     }
 }
 

@@ -21,6 +21,9 @@
 //!   conditional-branch sites ([`SiteId`]), SoA outcome stream, and RAS
 //!   events.
 //! * [`codec`] — a compact binary serialization of traces.
+//! * [`packet`] — the TLA3 packet format: site-dictionary compression
+//!   with branch-map outcome words and streaming decode straight into
+//!   [`CompiledTrace`].
 //! * [`cursor`] — the std-only byte cursor behind the codec.
 //! * [`json`] — hand-rolled JSON serialization ([`json::ToJson`]) used
 //!   by every report-bearing type in the workspace (the repo's
@@ -46,6 +49,7 @@ pub mod codec;
 mod compiled;
 pub mod cursor;
 pub mod json;
+pub mod packet;
 mod ras;
 mod sink;
 mod stats;

@@ -51,6 +51,32 @@ for line in inner_compiled_walk inner_bitsliced_walk; do
     }
 done
 
+# Trace-codec bench smoke: both wire formats must encode and decode,
+# and the TLA3 streaming decode must emit its line, under smoke mode.
+trace_io_out=$(cargo bench -q --offline -p tlat-bench --bench trace_io -- --test)
+for line in encode_tla2 encode_tla3 decode_tla3 stream_decode_compiled; do
+    grep -q "^BENCHJSON .*$line" <<<"$trace_io_out" || {
+        echo "error: trace_io bench emitted no $line BENCHJSON line" >&2
+        exit 1
+    }
+done
+
+# Streaming discipline: the gang sweeps must reach their compiled
+# stream through the store's streaming entry points (TLA3 cache
+# entries decode straight into CompiledTrace; no per-record Vec in the
+# gang path).
+for gate in \
+    'crates/sim/src/experiment.rs:gang_simulate_isolated_compiled' \
+    'crates/sim/src/experiment.rs:try_test_compiled' \
+    'crates/sim/src/traces.rs:load_compiled' \
+    'crates/sim/src/diskcache.rs:decode_compiled'; do
+    file=${gate%%:*}; sym=${gate##*:}
+    grep -q "$sym" "$file" || {
+        echo "error: $file no longer routes through $sym (streaming decode unwired?)" >&2
+        exit 1
+    }
+done
+
 # Bitslice differential smoke at a pinned seed: the property suite that
 # proves the plane-stepped packs byte-identical to the scalar automata
 # must pass on a reproducible case set (the full suite also runs above
@@ -102,6 +128,12 @@ export TLAT_BRANCH_LIMIT=20000
 export TLAT_TRACE_CACHE="$smoke_dir/cache"
 "$tlat" fig 10 > "$smoke_dir/warm.txt"               # warm the trace cache
 "$tlat" fig 10 > "$smoke_dir/clean.txt"              # baseline, served from disk
+# Cold-cache and disk-served runs must render byte-identically (the
+# disk round-trip through TLA3 is lossless for the report).
+if ! diff -u "$smoke_dir/warm.txt" "$smoke_dir/clean.txt"; then
+    echo "error: disk-cached fig10 report differs from the cold run" >&2
+    exit 1
+fi
 TLAT_FAULTS=io@0,corrupt@1:42 "$tlat" fig 10 > "$smoke_dir/faulted.txt"
 if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/faulted.txt"; then
     echo "error: recovered fault injection changed the fig10 report" >&2
@@ -140,6 +172,52 @@ rm -f "$smoke_dir/m.jsonl"
 "$tlat" fig 10 > /dev/null                           # default-off: no file
 if [[ -e "$smoke_dir/m.jsonl" ]]; then
     echo "error: telemetry file appeared without TLAT_METRICS/--metrics" >&2
+    exit 1
+fi
+
+# TLA3 cache format + TLA2 migration smoke: entries must be packet-
+# format on disk; a legacy TLA2 record entry seeded under the old
+# `.tla2` name must hit (zero regenerations), be re-encoded as TLA3
+# under the new name, and leave the report byte-identical.
+entry=$(basename "$(ls "$smoke_dir"/cache/*-test-*.tlat | head -n1)")
+if ! head -c4 "$smoke_dir/cache/$entry" | grep -q 'TLA3'; then
+    echo "error: trace cache entry $entry is not in the TLA3 packet format" >&2
+    exit 1
+fi
+bench_name=${entry%%-*}
+stem=${entry%.tlat}
+rm "$smoke_dir/cache/$entry"
+TLAT_TRACE_CACHE=0 "$tlat" dump "$bench_name" "$smoke_dir/cache/$stem.tla2" > /dev/null
+TLAT_METRICS="$smoke_dir/migrate.jsonl" "$tlat" fig 10 > "$smoke_dir/migrated.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/migrated.txt"; then
+    echo "error: TLA2 cache migration changed the fig10 report" >&2
+    exit 1
+fi
+if ! grep -q '"kind":"counter","name":"trace_generations","value":0' "$smoke_dir/migrate.jsonl"; then
+    echo "error: seeded TLA2 entry did not hit (trace regenerated instead of migrated)" >&2
+    exit 1
+fi
+if [[ ! -f "$smoke_dir/cache/$stem.tlat" ]]; then
+    echo "error: TLA2 hit was not re-encoded as a TLA3 entry" >&2
+    exit 1
+fi
+if [[ -e "$smoke_dir/cache/$stem.tla2" ]]; then
+    echo "error: migrated TLA2 entry was not removed" >&2
+    exit 1
+fi
+
+# Corrupt-TLA3 eviction: injected truncation of packet entries must
+# evict and regenerate invisibly — identical report, nonzero
+# cache_evictions.
+TLAT_FAULTS=corrupt@0:2 TLAT_METRICS="$smoke_dir/evict.jsonl" \
+    "$tlat" fig 10 > "$smoke_dir/evicted.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/evicted.txt"; then
+    echo "error: corrupt-TLA3 eviction changed the fig10 report" >&2
+    exit 1
+fi
+if ! grep '"kind":"counter","name":"cache_evictions"' "$smoke_dir/evict.jsonl" \
+    | grep -vq '"value":0'; then
+    echo "error: injected TLA3 corruption evicted nothing" >&2
     exit 1
 fi
 unset TLAT_BRANCH_LIMIT TLAT_TRACE_CACHE
