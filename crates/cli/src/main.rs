@@ -5,9 +5,11 @@
 //! tlat table 1|2|3          regenerate a paper table
 //! tlat fig 3|4|5|...|10     regenerate a paper figure
 //! tlat all                  regenerate everything
+//! tlat sweep [name]         run a registered sweep (default fig10)
+//! tlat gc [--all]           collect orphaned sweep journals
 //! tlat stats                per-benchmark trace statistics
-//! tlat stats <file>         summarize a telemetry file
-//! tlat stats --check <file> validate a telemetry file
+//! tlat stats <file>...      summarize telemetry (merged when several)
+//! tlat stats --check <file>... validate telemetry files
 //! tlat run <config-index>   simulate one Table 2 configuration
 //! tlat list                 list Table 2 configurations with indices
 //! ```
@@ -26,16 +28,27 @@
 //! `TLAT_FAULTS=<spec>:<seed>` injects deterministic faults for
 //! testing the recovery paths (see EXPERIMENTS.md).
 //!
+//! Sweeps also scale across processes on the same journal:
+//! `tlat sweep --shard i/N <name>` computes one deterministic slice of
+//! the cells, and `tlat sweep --workers N <name>` spawns one worker
+//! per shard, restarts crashed or hung workers (capped backoff, strike
+//! limit, `TLAT_WORKER_TIMEOUT` heartbeat liveness), and renders the
+//! final report from the landed journal — byte-identical to an
+//! uninterrupted single-process run. `tlat gc` collects orphaned
+//! journal directories left behind by abandoned sweeps.
+//!
 //! `--metrics <path>` (= `TLAT_METRICS=<path>`) records counters and
 //! phase timings during the run and writes them as JSONL at exit;
-//! `tlat stats <path>` renders the file and `tlat stats --check
-//! <path>` validates it. The schema is documented in OBSERVABILITY.md.
-//! Recording never changes report output — stdout stays byte-identical.
+//! `tlat stats <path>` renders the file (several files merge into one
+//! summary) and `tlat stats --check <path>...` validates each. The
+//! schema is documented in OBSERVABILITY.md. Recording never changes
+//! report output — stdout stays byte-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::process::ExitCode;
+use std::time::Duration;
 use tlat_sim::{table2, Harness, PipelineModel};
 
 fn usage() -> ExitCode {
@@ -46,14 +59,18 @@ fn usage() -> ExitCode {
          \u{20}  --cache-dir <dir> trace-cache directory (= TLAT_TRACE_CACHE)\n\
          \u{20}  --no-cache        disable the persistent trace cache\n\
          \u{20}  --resume          checkpoint sweep cells; resume a killed sweep (= TLAT_RESUME=1)\n\
+         \u{20}  --shard <i/N>     compute only shard i of N sweep slices (= TLAT_SHARD)\n\
+         \u{20}  --workers <n>     supervise n shard worker processes (= TLAT_WORKERS)\n\
          \u{20}  --metrics <path>  write run telemetry as JSONL (= TLAT_METRICS)\n\
          commands:\n\
          \u{20}  table <1|2|3>     regenerate a paper table\n\
          \u{20}  fig <3..10>       regenerate a paper figure\n\
          \u{20}  all               regenerate every table and figure\n\
+         \u{20}  sweep [name]      run a registered sweep (fig5..fig10, taxonomy; default fig10)\n\
+         \u{20}  gc [--all]        collect orphaned sweep journals (--all ignores the age guard)\n\
          \u{20}  stats             per-benchmark trace statistics\n\
-         \u{20}  stats <file>      summarize a telemetry file\n\
-         \u{20}  stats --check <file>  validate a telemetry file\n\
+         \u{20}  stats <file>...   summarize telemetry (several files merge into one summary)\n\
+         \u{20}  stats --check <file>...  validate telemetry files\n\
          \u{20}  list              list Table 2 configurations\n\
          \u{20}  run <index>       simulate one Table 2 configuration\n\
          \u{20}  diagnose <bench> [i]  worst sites for a scheme\n\
@@ -67,6 +84,8 @@ fn usage() -> ExitCode {
          \u{20}             TLAT_THREADS (default: all cores),\n\
          \u{20}             TLAT_TRACE_CACHE (default target/tlat-cache; 0/off disables),\n\
          \u{20}             TLAT_RESUME (1/on enables sweep checkpoint/resume),\n\
+         \u{20}             TLAT_SHARD (i/N sweep slice), TLAT_WORKERS (supervised worker count),\n\
+         \u{20}             TLAT_WORKER_TIMEOUT (seconds of heartbeat silence before a worker is killed),\n\
          \u{20}             TLAT_FAULTS (deterministic fault injection, e.g. io@0,corrupt@1,panic@2:42),\n\
          \u{20}             TLAT_METRICS (telemetry JSONL output path; see README.md for the full table)"
     );
@@ -98,12 +117,44 @@ fn main() -> ExitCode {
                 std::env::set_var("TLAT_RESUME", "1");
                 args.drain(..1);
             }
+            Some("--shard") => {
+                let Some(s) = args.get(1) else { return usage() };
+                std::env::set_var("TLAT_SHARD", s);
+                args.drain(..2);
+            }
+            Some("--workers") => {
+                let Some(n) = args.get(1) else { return usage() };
+                std::env::set_var("TLAT_WORKERS", n);
+                args.drain(..2);
+            }
             Some("--metrics") => {
                 let Some(path) = args.get(1) else { return usage() };
                 std::env::set_var("TLAT_METRICS", path);
                 args.drain(..2);
             }
             _ => break,
+        }
+    }
+    // `--shard` / `--workers` also parse after the subcommand
+    // (`tlat sweep --workers 4`), but they configure the harness, so
+    // they must reach the environment before it is built: hoist any
+    // remaining occurrence here.
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shard" | "--workers" => {
+                let Some(value) = args.get(i + 1).cloned() else {
+                    return usage();
+                };
+                let var = if args[i] == "--shard" {
+                    "TLAT_SHARD"
+                } else {
+                    "TLAT_WORKERS"
+                };
+                std::env::set_var(var, value);
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
         }
     }
     let harness = Harness::from_env();
@@ -138,6 +189,120 @@ fn main() -> ExitCode {
             println!("{}", harness.figure9());
             println!("{}", harness.figure10());
         }
+        Some("sweep") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("fig10");
+            let Some(spec) = tlat_sim::sweep_spec(name) else {
+                eprintln!(
+                    "unknown sweep `{name}`; one of: {}",
+                    tlat_sim::sweep_specs()
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let shard = tlat_sim::Shard::from_env();
+            let workers = tlat_sim::supervisor::workers_from_env();
+            match (shard, workers) {
+                // Supervisor: spawn one worker process per shard over
+                // the shared journal, restart crashes, render the
+                // report from what landed. A worker inherits this
+                // environment minus TLAT_WORKERS (so it computes its
+                // shard instead of supervising recursively) and writes
+                // telemetry to a per-worker side file so restarts and
+                // retried cells stay visible after a merge.
+                (None, Some(n)) => {
+                    let exe = match std::env::current_exe() {
+                        Ok(exe) => exe,
+                        Err(e) => {
+                            eprintln!("cannot locate the tlat binary to spawn workers: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let metrics_base =
+                        std::env::var("TLAT_METRICS").ok().filter(|s| !s.is_empty());
+                    let mut make_worker = |shard: tlat_sim::Shard| {
+                        let mut cmd = std::process::Command::new(&exe);
+                        cmd.arg("sweep").arg(name);
+                        cmd.env("TLAT_SHARD", shard.to_string());
+                        cmd.env_remove("TLAT_WORKERS");
+                        if let Some(base) = &metrics_base {
+                            cmd.env("TLAT_METRICS", format!("{base}.worker{}", shard.index));
+                        }
+                        // The worker's report is a partial duplicate of
+                        // the supervisor's final render; only its
+                        // journal records matter.
+                        cmd.stdout(std::process::Stdio::null());
+                        cmd
+                    };
+                    let opts = tlat_sim::SupervisorOptions::new(n);
+                    match tlat_sim::run_supervised(
+                        &harness,
+                        spec.title,
+                        &spec.configs,
+                        &mut make_worker,
+                        &opts,
+                    ) {
+                        Ok((mut report, outcomes)) => {
+                            for note in &spec.notes {
+                                report.push_note(*note);
+                            }
+                            println!("{report}");
+                            for o in &outcomes {
+                                eprintln!(
+                                    "supervisor: shard {} — {} spawn(s), {} restart(s), \
+                                     {} timeout(s), {} cell(s) landed{}",
+                                    o.shard,
+                                    o.spawns,
+                                    o.restarts,
+                                    o.timeouts,
+                                    o.landed,
+                                    if o.exhausted { ", exhausted" } else { "" }
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("sweep supervisor: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                // Worker (or a hand-run shard): heartbeat into the
+                // journal directory while computing this shard's slice.
+                // TLAT_SHARD wins over TLAT_WORKERS so a worker that
+                // somehow inherits both never forks its own fleet.
+                (Some(shard), _) => {
+                    let period = tlat_sim::supervisor::worker_timeout_from_env()
+                        .map_or(Duration::from_millis(500), |t| {
+                            (t / 4).max(Duration::from_millis(10))
+                        });
+                    let heartbeat = harness.sweep_journal(spec.title, &spec.configs).map(|j| {
+                        tlat_sim::supervisor::start_heartbeat(j.dir(), shard.index, period)
+                    });
+                    println!("{}", harness.run_sweep(&spec));
+                    drop(heartbeat);
+                }
+                (None, None) => println!("{}", harness.run_sweep(&spec)),
+            }
+        }
+        Some("gc") => {
+            let min_age = match args.get(1).map(String::as_str) {
+                None => tlat_sim::supervisor::GC_MIN_AGE,
+                Some("--all") => Duration::ZERO,
+                Some(_) => return usage(),
+            };
+            let Some(cache) = harness.store().disk_cache() else {
+                eprintln!("gc needs the trace cache (TLAT_TRACE_CACHE); nothing to collect");
+                return ExitCode::FAILURE;
+            };
+            let root = cache.root().join("sweeps");
+            let stats = tlat_sim::journal::gc(&root, &[], min_age);
+            println!(
+                "collected {} sweep journal(s) ({} bytes), kept {}",
+                stats.removed, stats.bytes, stats.kept
+            );
+        }
         Some("stats") => match args.get(1).map(String::as_str) {
             // No argument: the original per-benchmark trace statistics.
             None => {
@@ -155,42 +320,54 @@ fn main() -> ExitCode {
                     );
                 }
             }
-            // A telemetry file: validate, then optionally summarize.
+            // Telemetry files: validate each, then either report
+            // per-file (--check) or summarize — several files (e.g.
+            // one per supervised worker) merge into one summary.
             Some(first) => {
                 let checking = first == "--check";
-                let path = if checking {
-                    match args.get(2) {
-                        Some(p) => p,
-                        None => return usage(),
-                    }
+                let paths: Vec<&String> = if checking {
+                    args.iter().skip(2).collect()
                 } else {
-                    first
+                    args.iter().skip(1).collect()
                 };
-                let text = match std::fs::read_to_string(path) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                match tlat_sim::metrics::check(&text) {
-                    Ok(file) => {
-                        if checking {
-                            println!(
-                                "{path}: ok (schema v{}, {} counters, {} spans, {} cell groups)",
-                                file.schema,
-                                file.counters.len(),
-                                file.spans.len(),
-                                file.cells.len()
-                            );
-                        } else {
-                            print!("{}", tlat_sim::metrics::summarize(&file));
+                if paths.is_empty() {
+                    return usage();
+                }
+                let mut files = Vec::new();
+                for path in &paths {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match tlat_sim::metrics::check(&text) {
+                        Ok(file) => {
+                            if checking {
+                                println!(
+                                    "{path}: ok (schema v{}, {} counters, {} spans, {} cell groups)",
+                                    file.schema,
+                                    file.counters.len(),
+                                    file.spans.len(),
+                                    file.cells.len()
+                                );
+                            } else {
+                                files.push(file);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("{path}: invalid telemetry: {e}");
+                            return ExitCode::FAILURE;
                         }
                     }
-                    Err(e) => {
-                        eprintln!("{path}: invalid telemetry: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                }
+                if !checking {
+                    let file = match files.len() {
+                        1 => files.remove(0),
+                        _ => tlat_sim::metrics::merge(&files),
+                    };
+                    print!("{}", tlat_sim::metrics::summarize(&file));
                 }
             }
         },

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! TLAT_FAULTS=<entry>[,<entry>...]:<seed>
-//! entry := io[@N] | corrupt[@N] | panic[@N]
+//! entry := io[@N] | corrupt[@N] | panic[@N] | abort[@N]
 //! ```
 //!
 //! * `io@N` — the N-th disk-cache load (0-based, process-wide ordinal)
@@ -22,6 +22,19 @@
 //!   n_configs + config_index`) panics; the pool's panic isolation
 //!   must record exactly that cell as failed while the sweep
 //!   completes.
+//! * `abort@N` — the N-th sweep-cell *evaluation* (0-based,
+//!   process-wide ordinal counting only cells actually computed —
+//!   journal-replayed cells never reach the site) hard-exits the
+//!   process via [`std::process::abort`], with no unwind and no
+//!   destructors: the closest deterministic stand-in for `kill -9`.
+//!   Keyed by evaluation ordinal rather than stable cell id on
+//!   purpose: a restarted process replays its journal, evaluates
+//!   *fewer* cells, and therefore dies a little further along each
+//!   attempt — exactly the progress-under-crash-restart loop the
+//!   supervisor ([`crate::supervisor`]) must survive. A plan whose
+//!   ordinal fires before any checkpoint lands (e.g. `abort@0`) makes
+//!   no progress on any attempt and deterministically exhausts the
+//!   supervisor's strike limit instead.
 //!
 //! Omitting `@N` derives the index from the seed (splitmix64, modulo a
 //! small window) so `TLAT_FAULTS=io,corrupt,panic:7` is a complete,
@@ -64,13 +77,19 @@ pub struct Faults {
     /// Sweep cell ids that panic (fire on every evaluation of that
     /// cell, so a retried lane fails deterministically too).
     panic_cells: Vec<u64>,
+    /// Cell-evaluation ordinals that hard-exit the process (no
+    /// unwind); see the module docs for why these count evaluations,
+    /// not stable cell ids.
+    aborts: Vec<u64>,
     /// The seed, echoed into injected panic payloads.
     seed: u64,
     /// Process-wide disk-cache load ordinal.
     loads: AtomicU64,
+    /// Process-wide sweep-cell evaluation ordinal (for `abort`).
+    evals: AtomicU64,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -120,6 +139,7 @@ impl Faults {
                 "io" => plan.io.push(index.unwrap_or_else(|| derived(0x10))),
                 "corrupt" => plan.corrupt.push(index.unwrap_or_else(|| derived(0xC0))),
                 "panic" => plan.panic_cells.push(index.unwrap_or_else(|| derived(0xBA))),
+                "abort" => plan.aborts.push(index.unwrap_or_else(|| derived(0xAB))),
                 other => return Err(format!("unknown fault kind {other:?} in {spec:?}")),
             }
         }
@@ -146,7 +166,10 @@ impl Faults {
 
     /// Whether this plan can inject anything at all.
     pub fn armed(&self) -> bool {
-        !(self.io.is_empty() && self.corrupt.is_empty() && self.panic_cells.is_empty())
+        !(self.io.is_empty()
+            && self.corrupt.is_empty()
+            && self.panic_cells.is_empty()
+            && self.aborts.is_empty())
     }
 
     /// The plan's seed (echoed in injected panic payloads).
@@ -195,6 +218,30 @@ impl Faults {
             );
         }
     }
+
+    /// The sweep-cell injection site: called once per cell actually
+    /// evaluated (never for journal-replayed cells). Advances the
+    /// evaluation ordinal and fires any `abort` scheduled for it —
+    /// hard-exiting the process with no unwind — then any `panic`
+    /// keyed to the cell's stable id.
+    pub fn on_cell(&self, cell: u64, label: &str) {
+        if !self.armed() {
+            return;
+        }
+        if !self.aborts.is_empty() {
+            let ordinal = self.evals.fetch_add(1, Ordering::Relaxed);
+            if self.aborts.contains(&ordinal) {
+                metrics::bump(metrics::Counter::FaultsInjected);
+                eprintln!(
+                    "note: injected fault: hard abort at cell evaluation {ordinal} \
+                     ({label}, cell {cell}, seed {})",
+                    self.seed
+                );
+                std::process::abort();
+            }
+        }
+        self.maybe_panic_cell(cell, label);
+    }
 }
 
 #[cfg(test)]
@@ -217,14 +264,30 @@ mod tests {
 
     #[test]
     fn derived_indices_are_reproducible_and_windowed() {
-        let a = Faults::parse("io,corrupt,panic:9").unwrap();
-        let b = Faults::parse("io,corrupt,panic:9").unwrap();
+        let a = Faults::parse("io,corrupt,panic,abort:9").unwrap();
+        let b = Faults::parse("io,corrupt,panic,abort:9").unwrap();
         assert_eq!(a.io, b.io);
         assert_eq!(a.corrupt, b.corrupt);
         assert_eq!(a.panic_cells, b.panic_cells);
+        assert_eq!(a.aborts, b.aborts);
         assert!(a.io[0] < DERIVED_WINDOW);
         assert!(a.corrupt[0] < DERIVED_WINDOW);
         assert!(a.panic_cells[0] < DERIVED_WINDOW);
+        assert!(a.aborts[0] < DERIVED_WINDOW);
+    }
+
+    #[test]
+    fn abort_specs_parse_and_arm() {
+        // Firing an abort would kill the test harness (that end of the
+        // path is exercised by crates/sim/tests/supervisor.rs in child
+        // processes); here we pin the parse and the ordinal bookkeeping
+        // up to — but not including — the targeted evaluation.
+        let plan = Faults::parse("abort@2:5").unwrap();
+        assert!(plan.armed());
+        assert_eq!(plan.aborts, vec![2]);
+        plan.on_cell(10, "AT/gcc"); // ordinal 0: must not abort
+        plan.on_cell(11, "AT/li"); // ordinal 1: must not abort
+        assert_eq!(plan.evals.load(Ordering::Relaxed), 2);
     }
 
     #[test]

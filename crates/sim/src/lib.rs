@@ -27,6 +27,14 @@
 //! `TLAT_FAULTS`) exercising every recovery path, and crash-safe sweep
 //! checkpoint/resume ([`journal`], `TLAT_RESUME` / `tlat --resume`).
 //!
+//! The journal is also the substrate for multi-process sweeps
+//! ([`supervisor`]): `tlat sweep --shard i/N` restricts a process to a
+//! deterministic slice of cells, and `tlat sweep --workers N` spawns
+//! and babysits one worker per shard — crash-restart with capped
+//! backoff and strike limits, heartbeat liveness, graceful degradation
+//! — then renders the report from the landed journal, byte-identical
+//! to an uninterrupted single-process run.
+//!
 //! Everything above is observable through the [`metrics`] telemetry
 //! layer (`TLAT_METRICS` / `tlat --metrics <path>`): default-off
 //! atomic counters and wall-clock phase spans over every hot path,
@@ -64,6 +72,7 @@ pub mod gang;
 pub mod journal;
 pub mod metrics;
 pub mod pool;
+pub mod supervisor;
 
 pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
 pub use cost::PipelineModel;
@@ -72,7 +81,7 @@ pub use diagnostics::{per_site, windowed_accuracy, worst_sites_report, SiteStats
 pub use diskcache::{DiskCache, TraceKey};
 pub use engine::{simulate, simulate_with, SimOptions};
 pub use error::SimError;
-pub use experiment::Harness;
+pub use experiment::{sweep_spec, sweep_specs, Harness, SweepSpec};
 pub use faults::Faults;
 pub use fetch::{simulate_fetch, FetchOptions, FetchResult};
 pub use gang::{
@@ -83,5 +92,6 @@ pub use journal::SweepJournal;
 pub use stats::{PredictionStats, SimResult};
 pub use pool::{run_isolated, threads_from_env, CellPanic};
 pub use report::{Cell, Report, ReportRow};
+pub use supervisor::{run_supervised, Shard, ShardOutcome, SupervisorOptions};
 pub use timing::{simulate_timing, TimingModel, TimingResult};
 pub use traces::{branch_limit_from_env, TraceStore, DEFAULT_BRANCH_LIMIT};

@@ -155,6 +155,59 @@ if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/resumed.txt"; then
     exit 1
 fi
 
+# Supervised sharded sweeps (DESIGN.md "Distributed sweeps"): the sweep
+# command must render fig10 byte-identically, and a supervised run
+# whose workers keep dying on an injected abort fault must converge by
+# crash-restart to the same bytes, with the restarts visible in the
+# merged per-worker telemetry. abort@5 hard-exits each worker at its
+# 6th cell evaluation: past the first five-config workload batch, so
+# every attempt lands journal progress (TLAT_THREADS=1 keeps the batch
+# order, and with it the abort's landing point, deterministic).
+"$tlat" sweep fig10 > "$smoke_dir/sweep.txt"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/sweep.txt"; then
+    echo "error: tlat sweep fig10 differs from tlat fig 10" >&2
+    exit 1
+fi
+rm -rf "$smoke_dir/cache/sweeps"                     # force a cold journal
+TLAT_THREADS=1 TLAT_FAULTS=abort@5:7 TLAT_METRICS="$smoke_dir/sup.jsonl" \
+    "$tlat" sweep --workers 2 fig10 > "$smoke_dir/supervised.txt" 2> "$smoke_dir/sup.log"
+if ! diff -u "$smoke_dir/clean.txt" "$smoke_dir/supervised.txt"; then
+    echo "error: supervised fig10 under worker abort faults differs from the clean run" >&2
+    cat "$smoke_dir/sup.log" >&2
+    exit 1
+fi
+if ! grep '"kind":"counter","name":"worker_restarts"' "$smoke_dir/sup.jsonl" \
+    | grep -vq '"value":0'; then
+    echo "error: supervised abort-fault run recorded no worker restarts" >&2
+    cat "$smoke_dir/sup.log" >&2
+    exit 1
+fi
+"$tlat" stats "$smoke_dir/sup.jsonl" "$smoke_dir"/sup.jsonl.worker* \
+    > "$smoke_dir/sup-merged.txt"
+grep -q 'worker_restarts' "$smoke_dir/sup-merged.txt" || {
+    echo "error: merged telemetry summary lost the worker_restarts counter" >&2
+    exit 1
+}
+
+# Orphaned-journal GC: the default 7-day age guard must keep every
+# fresh journal (including a stale-looking one just planted), and
+# `gc --all` must collect unclaimed sweep directories.
+mkdir -p "$smoke_dir/cache/sweeps/sweep-00000000deadbeef"
+echo "orphan" > "$smoke_dir/cache/sweeps/sweep-00000000deadbeef/c0-w0.cell"
+"$tlat" gc > "$smoke_dir/gc-default.txt"
+grep -q '^collected 0 ' "$smoke_dir/gc-default.txt" || {
+    echo "error: tlat gc collected a journal younger than the age guard" >&2
+    cat "$smoke_dir/gc-default.txt" >&2
+    exit 1
+}
+"$tlat" gc --all > "$smoke_dir/gc-all.txt"
+if grep -q '^collected 0 ' "$smoke_dir/gc-all.txt" \
+    || [[ -d "$smoke_dir/cache/sweeps/sweep-00000000deadbeef" ]]; then
+    echo "error: tlat gc --all left orphaned sweep journals behind" >&2
+    cat "$smoke_dir/gc-all.txt" >&2
+    exit 1
+fi
+
 # Telemetry smoke (OBSERVABILITY.md): a --metrics run must render a
 # byte-identical report, its JSONL must pass the schema check, and the
 # default-off path must emit no file.
