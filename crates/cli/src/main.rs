@@ -6,6 +6,7 @@
 //! tlat fig 3|4|5|...|10     regenerate a paper figure
 //! tlat all                  regenerate everything
 //! tlat sweep [name]         run a registered sweep (default fig10)
+//! tlat serve [--addr a:p]   long-lived HTTP sweep server (SERVING.md)
 //! tlat gc [--all]           collect orphaned sweep journals
 //! tlat stats                per-benchmark trace statistics
 //! tlat stats <file>...      summarize telemetry (merged when several)
@@ -37,6 +38,14 @@
 //! uninterrupted single-process run. `tlat gc` collects orphaned
 //! journal directories left behind by abandoned sweeps.
 //!
+//! `tlat serve` keeps the whole stack resident behind a socket: a
+//! zero-dependency HTTP/1.1 server (`TLAT_SERVE_ADDR`, default
+//! `127.0.0.1:7091`) answering sweep, figure, and diagnostic requests
+//! from one shared harness — identical concurrent sweep requests
+//! coalesce into one computation, results memoize, and response bytes
+//! match the batch CLI exactly. The wire protocol is specified in
+//! SERVING.md.
+//!
 //! `--metrics <path>` (= `TLAT_METRICS=<path>`) records counters and
 //! phase timings during the run and writes them as JSONL at exit;
 //! `tlat stats <path>` renders the file (several files merge into one
@@ -67,6 +76,7 @@ fn usage() -> ExitCode {
          \u{20}  fig <3..10>       regenerate a paper figure\n\
          \u{20}  all               regenerate every table and figure\n\
          \u{20}  sweep [name]      run a registered sweep (fig5..fig10, taxonomy; default fig10)\n\
+         \u{20}  serve [--addr <host:port>]  long-lived HTTP sweep server (= TLAT_SERVE_ADDR)\n\
          \u{20}  gc [--all]        collect orphaned sweep journals (--all ignores the age guard)\n\
          \u{20}  stats             per-benchmark trace statistics\n\
          \u{20}  stats <file>...   summarize telemetry (several files merge into one summary)\n\
@@ -87,7 +97,9 @@ fn usage() -> ExitCode {
          \u{20}             TLAT_SHARD (i/N sweep slice), TLAT_WORKERS (supervised worker count),\n\
          \u{20}             TLAT_WORKER_TIMEOUT (seconds of heartbeat silence before a worker is killed),\n\
          \u{20}             TLAT_FAULTS (deterministic fault injection, e.g. io@0,corrupt@1,panic@2:42),\n\
-         \u{20}             TLAT_METRICS (telemetry JSONL output path; see README.md for the full table)"
+         \u{20}             TLAT_METRICS (telemetry JSONL output path),\n\
+         \u{20}             TLAT_SERVE_ADDR (serve listen address, default 127.0.0.1:7091),\n\
+         \u{20}             TLAT_SERVE_BACKLOG (serve connection cap; see README.md for the full table)"
     );
     ExitCode::FAILURE
 }
@@ -285,6 +297,32 @@ fn main() -> ExitCode {
                 }
                 (None, None) => println!("{}", harness.run_sweep(&spec)),
             }
+        }
+        Some("serve") => {
+            let addr = match args.get(1).map(String::as_str) {
+                Some("--addr") => match args.get(2) {
+                    Some(a) => a.clone(),
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+                None => tlat_sim::serve::addr_from_env(),
+            };
+            let server = match tlat_sim::Server::bind(harness, &addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tlat serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The ready line goes to stdout (line-buffered, so it
+            // flushes even when piped) — scripts wait for it before
+            // sending requests.
+            println!(
+                "serving on http://{} ({} sweeps registered)",
+                server.local_addr(),
+                tlat_sim::sweep_specs().len()
+            );
+            server.run();
         }
         Some("gc") => {
             let min_age = match args.get(1).map(String::as_str) {

@@ -502,6 +502,19 @@ impl Harness {
         ))
     }
 
+    /// The sweep's identity under this harness: the same FNV
+    /// fingerprint the checkpoint journal keys its directory on
+    /// (title + configuration labels + workload names + branch budget
+    /// + codegen version). `tlat serve` uses it as the coalescing key,
+    /// so two requests share one computation exactly when they would
+    /// share one journal. Computed without touching disk, and
+    /// independent of whether resume is enabled.
+    pub fn sweep_fingerprint(&self, title: &str, configs: &[SchemeConfig]) -> u64 {
+        let labels: Vec<String> = configs.iter().map(SchemeConfig::label).collect();
+        let names: Vec<&str> = self.workloads.iter().map(|w| w.name).collect();
+        SweepJournal::open(".", title, &labels, &names, self.store.budget()).fingerprint()
+    }
+
     /// Builds one gang lane, routing the trained schemes through the
     /// memoized training artifacts (the sequential reference path keeps
     /// retraining per cell, and the byte-identity tests pin the two
@@ -910,7 +923,20 @@ impl Harness {
 /// `tlat fig N`, `tlat sweep <name>`, a `--shard i/N` worker, and the
 /// `--workers N` supervisor — agree on exactly the same sweep: same
 /// title and configs means same journal fingerprint means same journal
-/// directory, which is the whole coordination mechanism.
+/// directory, which is the whole coordination mechanism. The same
+/// identity keys `tlat serve`'s request coalescing (see
+/// [`Harness::sweep_fingerprint`]).
+///
+/// # Examples
+///
+/// ```
+/// use tlat_sim::sweep_spec;
+///
+/// let spec = sweep_spec("fig10").expect("fig10 is registered");
+/// assert_eq!(spec.name, "fig10");
+/// assert!(spec.title.starts_with("Figure 10"));
+/// assert!(!spec.configs.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Short CLI name (`"fig10"`).
@@ -925,6 +951,17 @@ pub struct SweepSpec {
 
 /// Every registered sweep, in paper order: `fig5` … `fig10` and the
 /// `taxonomy` extension.
+///
+/// This is the request namespace of `tlat serve`'s `GET /sweeps` and
+/// `POST /sweep/<name>` endpoints as well as the batch CLI's
+/// `tlat sweep <name>` argument.
+///
+/// # Examples
+///
+/// ```
+/// let names: Vec<&str> = tlat_sim::sweep_specs().iter().map(|s| s.name).collect();
+/// assert!(names.contains(&"fig5") && names.contains(&"fig10"));
+/// ```
 pub fn sweep_specs() -> Vec<SweepSpec> {
     vec![
         SweepSpec {

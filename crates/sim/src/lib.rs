@@ -41,6 +41,12 @@
 //! emitted as schema-stable JSONL (see `OBSERVABILITY.md`) and
 //! rendered/validated by `tlat stats`.
 //!
+//! Finally, [`serve`] wires the whole stack behind a socket:
+//! `tlat serve` is a zero-dependency HTTP/1.1 sweep server sharing one
+//! [`TraceStore`] across all clients, coalescing identical concurrent
+//! sweep requests by journal fingerprint, and answering with bytes
+//! identical to the batch CLI (wire protocol in `SERVING.md`).
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -72,6 +78,7 @@ pub mod gang;
 pub mod journal;
 pub mod metrics;
 pub mod pool;
+pub mod serve;
 pub mod supervisor;
 
 pub use config::{table2, taxonomy, SchemeConfig, TrainingData};
@@ -92,6 +99,7 @@ pub use journal::SweepJournal;
 pub use stats::{PredictionStats, SimResult};
 pub use pool::{run_isolated, threads_from_env, CellPanic};
 pub use report::{Cell, Report, ReportRow};
+pub use serve::Server;
 pub use supervisor::{run_supervised, Shard, ShardOutcome, SupervisorOptions};
 pub use timing::{simulate_timing, TimingModel, TimingResult};
 pub use traces::{branch_limit_from_env, TraceStore, DEFAULT_BRANCH_LIMIT};

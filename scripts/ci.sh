@@ -38,6 +38,21 @@ cargo bench -q --offline -p tlat-bench --bench sweep -- --test \
     exit 1
 }
 
+# Serve load-generator smoke: the ROADMAP's "heavy traffic" number.
+# Smoke mode drives 4 concurrent clients over real TCP against an
+# in-process server; the BENCHJSON lines (rps, p50/p99 latency) land in
+# BENCH_serve.json.
+cargo bench -q --offline -p tlat-bench --bench serve -- --test \
+    | sed -n 's/^BENCHJSON //p' > BENCH_serve.json
+[[ -s BENCH_serve.json ]] || {
+    echo "error: serve bench emitted no BENCHJSON lines" >&2
+    exit 1
+}
+grep -q '"bench":"serve/warm_sweep"' BENCH_serve.json || {
+    echo "error: serve bench emitted no warm_sweep measurement" >&2
+    exit 1
+}
+
 # Gang inner-loop bench smoke: the compiled event-stream walk vs the
 # raw-record reference walk must both run (and emit BENCHJSON) under
 # smoke mode. Capture the full output before grepping: `grep -q` on a
@@ -273,18 +288,116 @@ if ! grep '"kind":"counter","name":"cache_evictions"' "$smoke_dir/evict.jsonl" \
     echo "error: injected TLA3 corruption evicted nothing" >&2
     exit 1
 fi
+# Serve smoke (SERVING.md): a real `tlat serve` process must answer a
+# sweep request with exactly the batch bytes, count it in /metrics,
+# shut down gracefully on POST /shutdown, and — restarted over the same
+# journal — come back warm (all cells replayed, none recomputed).
+serve_req() { # <port> <method> <path> <body-outfile>
+    exec 9<>"/dev/tcp/127.0.0.1/$1"
+    printf '%s %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$2" "$3" >&9
+    cat <&9 > "$4.raw"
+    exec 9<&- 9>&-
+    sed -e '1,/^\r$/d' "$4.raw" > "$4"   # strip the response head
+}
+serve_start() { # <logfile>; sets $serve_pid and $serve_port
+    TLAT_RESUME=1 TLAT_SERVE_ADDR=127.0.0.1:0 "$tlat" serve > "$1" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        if grep -q 'serving on' "$1"; then break; fi
+        sleep 0.1
+    done
+    serve_port=$(sed -n 's#.*http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$1")
+    [[ -n "$serve_port" ]] || {
+        echo "error: tlat serve never printed its ready line" >&2
+        cat "$1" >&2
+        exit 1
+    }
+}
+serve_start "$smoke_dir/serve.log"
+serve_req "$serve_port" POST /sweep/fig10 "$smoke_dir/served.txt"
+if ! diff -u "$smoke_dir/sweep.txt" "$smoke_dir/served.txt"; then
+    echo "error: served fig10 report differs from the batch sweep" >&2
+    exit 1
+fi
+serve_req "$serve_port" GET /metrics "$smoke_dir/serve-metrics.jsonl"
+if ! grep '"kind":"counter","name":"requests_served"' "$smoke_dir/serve-metrics.jsonl" \
+    | grep -vq '"value":0'; then
+    echo "error: /metrics recorded no served requests" >&2
+    exit 1
+fi
+serve_req "$serve_port" POST /shutdown "$smoke_dir/serve-bye.txt"
+wait "$serve_pid" || {
+    echo "error: tlat serve exited nonzero after graceful shutdown" >&2
+    cat "$smoke_dir/serve.log" >&2
+    exit 1
+}
+serve_start "$smoke_dir/serve2.log"
+serve_req "$serve_port" POST /sweep/fig10 "$smoke_dir/served-resumed.txt"
+if ! diff -u "$smoke_dir/sweep.txt" "$smoke_dir/served-resumed.txt"; then
+    echo "error: restarted server's fig10 report differs from the batch sweep" >&2
+    exit 1
+fi
+serve_req "$serve_port" GET /metrics "$smoke_dir/serve-metrics2.jsonl"
+if ! grep '"kind":"counter","name":"cells_replayed"' "$smoke_dir/serve-metrics2.jsonl" \
+    | grep -vq '"value":0'; then
+    echo "error: restarted server replayed nothing from the journal" >&2
+    exit 1
+fi
+if ! grep -q '"kind":"counter","name":"cells_computed","value":0' \
+    "$smoke_dir/serve-metrics2.jsonl"; then
+    echo "error: restarted server recomputed cells a warm journal should replay" >&2
+    exit 1
+fi
+serve_req "$serve_port" POST /shutdown "$smoke_dir/serve-bye2.txt"
+wait "$serve_pid" || {
+    echo "error: restarted tlat serve exited nonzero after graceful shutdown" >&2
+    cat "$smoke_dir/serve2.log" >&2
+    exit 1
+}
+
 unset TLAT_BRANCH_LIMIT TLAT_TRACE_CACHE
 
 # Environment-variable documentation: every TLAT_* variable read in the
 # sources must have a row in README.md's "Environment variables" table.
-undocumented=$(grep -rhoE '"TLAT_[A-Z_]+"' crates src tests examples 2>/dev/null \
-    | tr -d '"' | sort -u \
-    | while read -r var; do
+env_vars=$(grep -rhoE '"TLAT_[A-Z_]+"' crates src tests examples 2>/dev/null \
+    | tr -d '"' | sort -u)
+# The serve layer's knobs must be visible to this gate — if the extract
+# pattern goes stale, fail loudly instead of silently gating nothing.
+for must in TLAT_SERVE_ADDR TLAT_SERVE_BACKLOG TLAT_METRICS; do
+    grep -qx "$must" <<<"$env_vars" || {
+        echo "error: env-table gate no longer sees $must in the sources" >&2
+        exit 1
+    }
+done
+undocumented=$(while read -r var; do
         grep -q "^| \`$var\`" README.md || echo "$var"
-    done)
+    done <<<"$env_vars")
 if [[ -n "$undocumented" ]]; then
     echo "error: TLAT_ variables read in code but missing from README.md's table:" >&2
     echo "$undocumented" >&2
+    exit 1
+fi
+
+# Documentation integrity: every intra-repo markdown link and every
+# crates/... path mentioned in the top-level docs must exist, so the
+# docs cannot drift from the tree they describe.
+doc_dead=$(for doc in README.md DESIGN.md EXPERIMENTS.md OBSERVABILITY.md \
+                      SERVING.md ROADMAP.md; do
+    { grep -oE '\]\([^)]+\)' "$doc" || true; } \
+        | sed -e 's/^](//' -e 's/)$//' \
+        | { grep -vE '^(https?:|#|mailto:)' || true; } | sed 's/#.*$//' | sort -u \
+        | while read -r target; do
+            [[ -e "$target" ]] || echo "$doc: broken link -> $target"
+        done
+    { grep -oE 'crates/[A-Za-z0-9_./-]+' "$doc" || true; } \
+        | sed 's/[.,;:]$//' | sort -u \
+        | while read -r path; do
+            [[ -e "${path%/}" ]] || echo "$doc: missing path -> $path"
+        done
+done)
+if [[ -n "$doc_dead" ]]; then
+    echo "error: stale references in docs:" >&2
+    echo "$doc_dead" >&2
     exit 1
 fi
 
