@@ -8,13 +8,16 @@
 //! matching the harness (which memoizes one [`CompiledTrace`] per
 //! workload); the once-per-workload compile cost is reported separately
 //! as `stream_compile`. Run with `cargo bench --bench gang_inner`;
-//! five BENCHJSON lines are emitted (`inner_record_walk`,
+//! seven BENCHJSON lines are emitted (`inner_record_walk`,
 //! `inner_compiled_walk`, `stream_compile`, `inner_bitsliced_record`,
-//! `inner_bitsliced_walk`) plus derived speedup lines. The bitsliced
+//! `inner_bitsliced_walk`, `inner_at_pack_record`,
+//! `inner_at_pack_walk`) plus derived speedup lines. The bitsliced
 //! pair measures an all-Lee-&-Smith lane set that the gang engine
-//! packs into one two-plane [`tlat_core::LanePack`], isolating the
-//! plane-stepped walk from the mixed-lane set above (where only the
-//! two LS lanes pack).
+//! packs into one two-plane [`tlat_core::LanePack`]; the AT-pack pair
+//! measures a fig10-shaped variant × history-length Two-Level grid
+//! that packs into one [`tlat_core::AtPack`] (shared history walk,
+//! pattern-table row planes) — each isolating its plane-stepped walk
+//! from the mixed-lane set above.
 
 use tlat_bench::runner::Runner;
 use tlat_core::{AutomatonKind, HrtConfig};
@@ -108,6 +111,45 @@ fn main() {
         println!(
             "[gang_inner] bitsliced pack vs record stream: {:.2}x",
             bs_records.median_ns / bitsliced.median_ns
+        );
+    }
+
+    // A fig10-shaped Two-Level grid — every automaton variant crossed
+    // with four history lengths on one shared AHRT organization: the
+    // gang engine packs all 20 lanes into a single AtPack, so the
+    // whole walk is one shared history shift plus a handful of masked
+    // row-plane steps per event instead of 20 scalar fused cycles.
+    let at_configs: Vec<SchemeConfig> = AutomatonKind::ALL
+        .iter()
+        .flat_map(|&a| {
+            [6u8, 8, 10, 12]
+                .into_iter()
+                .map(move |bits| SchemeConfig::at(HrtConfig::ahrt(512), bits, a))
+        })
+        .collect();
+    let at_lanes = || -> Vec<GangLane> {
+        at_configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect()
+    };
+    let at_events = trace.conditional_len() as u64 * at_configs.len() as u64;
+    group.plan(1, 7);
+    let at_records = group
+        .throughput(at_events)
+        .bench("inner_at_pack_record", || {
+            let mut lanes = at_lanes();
+            gang_simulate_records(&mut lanes, &trace, SimOptions::default()).len()
+        });
+    group.plan(1, 7);
+    let at_packed = group.throughput(at_events).bench("inner_at_pack_walk", || {
+        let mut lanes = at_lanes();
+        gang_simulate_precompiled(&mut lanes, &trace, &stream, SimOptions::default()).len()
+    });
+    if at_packed.median_ns > 0.0 {
+        println!(
+            "[gang_inner] AT pack vs record stream: {:.2}x",
+            at_records.median_ns / at_packed.median_ns
         );
     }
 }

@@ -1,11 +1,16 @@
 //! Sweep throughput: the Figure 10 head-to-head sweep through the
 //! single-pass gang engine (with and without the worker pool) against
-//! the per-configuration baseline that walks the trace once per cell.
+//! the per-configuration baseline that walks the trace once per cell,
+//! plus the Figure 5 automaton sweep — four Two-Level variants at one
+//! history length, i.e. one history-mask group that rides a single
+//! bitsliced `AtPack` (shared history walk, one masked pattern row
+//! per event), the sweep-level showcase of the AT plane packs.
 //!
-//! Run with `cargo bench --bench sweep`. Three BENCHJSON lines are
+//! Run with `cargo bench --bench sweep`. Five BENCHJSON lines are
 //! emitted (`fig10_per_config_baseline`, `fig10_gang_1thread`,
-//! `fig10_gang_pool`) plus derived speedup lines; `scripts/ci.sh`
-//! captures them into `BENCH_sweep.json` in smoke mode.
+//! `fig10_gang_pool`, `fig5_per_config_baseline`, `fig5_gang_pool`)
+//! plus derived speedup lines; `scripts/ci.sh` captures them into
+//! `BENCH_sweep.json` in smoke mode.
 
 use tlat_bench::runner::Runner;
 use tlat_core::{AutomatonKind, HrtConfig};
@@ -43,6 +48,42 @@ fn main() {
         harness.accuracy_table("fig10", &configs).to_string().len()
     });
 
+    // The Figure 5 sweep: four state-transition automata of the
+    // paper's AT scheme at one history length on one AHRT geometry.
+    // All four lanes share a single history mask, so the gang walks
+    // the whole grid as one bitsliced AtPack — a shared history
+    // register per slot and one masked pattern-row visit per event
+    // feeding all four automata — making this the sweep-level measure
+    // of the AT plane packs (Figure 10 above packs only its lone AT
+    // lane, and only on loop-heavy workloads; Figure 7's
+    // distinct-history grid stays scalar by the mask-group gate).
+    let fig5_configs: Vec<SchemeConfig> = [
+        AutomatonKind::A2,
+        AutomatonKind::A3,
+        AutomatonKind::A4,
+        AutomatonKind::LastTime,
+    ]
+    .into_iter()
+    .map(|a| SchemeConfig::at(HrtConfig::ahrt(512), 12, a))
+    .collect();
+    let fig5_cells = (fig5_configs.len() * harness.workloads().len()) as u64;
+    group.plan(1, 5);
+    let fig5_baseline = group
+        .throughput(fig5_cells)
+        .bench("fig5_per_config_baseline", || {
+            harness
+                .accuracy_table_sequential("fig5", &fig5_configs)
+                .to_string()
+                .len()
+        });
+    group.plan(1, 5);
+    let fig5_pooled = group.throughput(fig5_cells).bench("fig5_gang_pool", || {
+        harness
+            .accuracy_table("fig5", &fig5_configs)
+            .to_string()
+            .len()
+    });
+
     let speedup = |fast: &tlat_bench::runner::Measurement| {
         if fast.median_ns > 0.0 {
             baseline.median_ns / fast.median_ns
@@ -58,6 +99,12 @@ fn main() {
         "[sweep] gang engine + worker pool vs per-config baseline: {:.2}x",
         speedup(&pooled)
     );
+    if fig5_pooled.median_ns > 0.0 {
+        println!(
+            "[sweep] fig5 AT-pack gang + pool vs per-config baseline: {:.2}x",
+            fig5_baseline.median_ns / fig5_pooled.median_ns
+        );
+    }
     if !tlat_bench::is_test_pass() && speedup(&pooled) < 2.0 {
         eprintln!(
             "[sweep] WARNING: gang+pool sweep below the 2x target \

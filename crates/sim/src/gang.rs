@@ -29,21 +29,27 @@
 //!   event; each lane applies the replayed slot decision via a direct
 //!   indexed entry access, and the engine's access statistics are
 //!   folded back into every sharing lane once per walk.
-//! * **Bitsliced Lee & Smith packs** — an LS lane's entire per-event
-//!   state is one two-bit automaton, so same-geometry LS lanes group
-//!   into packs: up to 64 lanes' states ride two `u64` planes per
-//!   table slot ([`tlat_core::LanePack`]) and one branchless plane
-//!   step advances the whole pack. Ideal, hashed, and scalar-free
-//!   associative packs skip the per-event loop entirely and replay
-//!   the stream in `(site, outcome)` runs; packs riding a mixed
-//!   gang's shared probe engine adapt to the stream shape — on
-//!   loop-heavy streams the event loop just logs each probe's slot
-//!   (the way scan stays paid once for the whole gang) and the pack
-//!   replays the log in `(slot, outcome)` runs afterwards, while on
-//!   churny streams it takes one branchless plane step per event
-//!   in-loop. In every run-replayed walk a loop branch's same-outcome
-//!   tail applies in O(1) once every automaton sits at its fixed
-//!   point.
+//! * **Bitsliced gang lanes** — same-geometry lanes whose per-event
+//!   state fits two-bit automata group into SWAR plane packs. LS
+//!   lanes pack per table slot (one automaton each,
+//!   [`tlat_core::LanePack`]); Two-Level lanes sharing an
+//!   [`HrtConfig`] pack per pattern-table row
+//!   ([`tlat_core::AtPack`]), where the level-one history walk is
+//!   shared once per pack — history registers depend only on the
+//!   outcome stream and HRT geometry, so one per-slot register
+//!   drives every lane's masked row index, and the variant ×
+//!   history-length grid of a fig10 sweep collapses into a handful
+//!   of packs. Both flavors share the slot drivers: ideal, hashed,
+//!   and scalar-free associative packs skip the per-event loop
+//!   entirely and replay the stream in `(site, outcome)` runs; packs
+//!   riding a mixed gang's shared probe engine adapt to the stream
+//!   shape — on loop-heavy streams the event loop just logs each
+//!   probe's slot (the way scan stays paid once for the whole gang)
+//!   and the pack replays the log in `(slot, outcome)` runs
+//!   afterwards, while on churny streams it takes one branchless
+//!   plane step per event in-loop. In every run-replayed walk a loop
+//!   branch's same-outcome tail applies in O(1) once every history
+//!   register saturates and every automaton sits at its fixed point.
 //! * **Closed-form profile scoring** — a profile lane's frozen
 //!   per-site bits never change during a walk, so its score is a
 //!   weighted sum over the compiled stream's per-site taken counts:
@@ -65,9 +71,9 @@ use crate::pool::{catch_cell, CellPanic};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tlat_core::{
-    AutomatonKind, HrtConfig, HrtStats, LanePack, LeeSmithBtb, Predictor, ProbeOutcome,
-    ProfilePredictor, SiteKeys, SiteResolver, SlotProbe, StaticTraining, StaticTrainingConfig,
-    TwoLevelAdaptive,
+    AtLaneConfig, AtPack, AutomatonKind, HrtConfig, HrtStats, LanePack, LeeSmithBtb, Predictor,
+    ProbeOutcome, ProfilePredictor, SiteKeys, SiteResolver, SlotProbe, StaticTraining,
+    StaticTrainingConfig, TwoLevelAdaptive,
 };
 use tlat_trace::{
     BranchClass, BranchRecord, CompiledTrace, RasEvent, ReturnAddressStack, SiteId, Trace,
@@ -248,6 +254,139 @@ struct LsPack<'a> {
     lanes: Vec<(&'a mut LeeSmithBtb, &'a mut PredictionStats)>,
 }
 
+/// One bitsliced Two-Level pack: up to [`PACK_WIDTH`] AT lanes with
+/// the same [`HrtConfig`] riding pattern-table row planes over a
+/// shared per-slot history walk ([`tlat_core::AtPack`]), plus the
+/// organization's slot driver and the lanes to fold results back
+/// into. Lanes may mix automaton variants, history lengths, §3.2
+/// caching, and init polarity — only the HRT organization (slot
+/// discipline) must match, plus the packability gate of
+/// [`tlat_core::TwoLevelConfig::pack_lane`].
+struct AtGangPack<'a> {
+    planes: AtPack,
+    probe: PackProbe,
+    lanes: Vec<(&'a mut TwoLevelAdaptive, &'a mut PredictionStats)>,
+}
+
+/// The slot discipline shared by both plane-pack flavors, so the
+/// run-replay drivers below are written once: a pack re-initializes a
+/// slot on a fill, grows one on ideal-table growth, and applies
+/// same-outcome runs in O(1) past its convergence depth.
+trait RunPack {
+    fn fill_slot(&mut self, slot: usize);
+    fn push_slot(&mut self) -> usize;
+    fn apply_run(&mut self, slot: usize, taken: bool, n: u64);
+}
+
+impl RunPack for LanePack {
+    fn fill_slot(&mut self, slot: usize) {
+        LanePack::fill_slot(self, slot);
+    }
+    fn push_slot(&mut self) -> usize {
+        LanePack::push_slot(self)
+    }
+    fn apply_run(&mut self, slot: usize, taken: bool, n: u64) {
+        LanePack::apply_run(self, slot, taken, n);
+    }
+}
+
+impl RunPack for AtPack {
+    fn fill_slot(&mut self, slot: usize) {
+        AtPack::fill_slot(self, slot);
+    }
+    fn push_slot(&mut self) -> usize {
+        AtPack::push_slot(self)
+    }
+    fn apply_run(&mut self, slot: usize, taken: bool, n: u64) {
+        AtPack::apply_run(self, slot, taken, n);
+    }
+}
+
+/// Replays the whole compiled stream into one non-shared pack in
+/// `(site, outcome)` runs, off to the side of the per-event loop. A
+/// run of r accesses to one site costs one real probe plus O(1)
+/// fast-forward bookkeeping, and within it each same-outcome run
+/// beyond the pack's convergence depth is a single shared
+/// correct-count — every history register saturates and every
+/// automaton sits at its fixed point by then (asserted when the
+/// transition tables are derived).
+fn replay_site_runs<P: RunPack>(planes: &mut P, probe: &mut PackProbe, compiled: &CompiledTrace) {
+    let sites = compiled.cond_sites();
+    let outcomes = compiled.outcomes();
+    let mut i = 0;
+    while i < sites.len() {
+        let site = sites[i];
+        let mut j = i + 1;
+        while j < sites.len() && sites[j] == site {
+            j += 1;
+        }
+        let slot = match probe {
+            PackProbe::Private(engine) => {
+                let probe = engine.step_run(site, (j - i) as u64);
+                if probe.outcome == ProbeOutcome::Filled {
+                    planes.fill_slot(probe.slot as usize);
+                }
+                probe.slot as usize
+            }
+            PackProbe::Ideal { next_site, stats } => {
+                stats.accesses += (j - i) as u64;
+                if site == *next_site {
+                    stats.misses += 1;
+                    *next_site += 1;
+                    planes.push_slot();
+                }
+                site as usize
+            }
+            PackProbe::Hashed { keys, stats } => {
+                stats.accesses += (j - i) as u64;
+                let SiteKeys::Hashed { slot } = &**keys else {
+                    unreachable!("hashed packs resolve hashed keys")
+                };
+                slot[site as usize] as usize
+            }
+            PackProbe::Shared(_) => unreachable!("shared packs replay their slot log"),
+        };
+        let mut k = i;
+        while k < j {
+            let taken = outcomes.get(k);
+            let run = outcomes.run_len(k, j);
+            planes.apply_run(slot, taken, run as u64);
+            k += run;
+        }
+        i = j;
+    }
+}
+
+/// Replays a shared engine's logged slot decisions into one pack on a
+/// loop-heavy stream, with the probing already paid: equal log words
+/// group into runs — a filled way is valid by its next probe, so a
+/// fill flag can't repeat within one — and the fill applies once, up
+/// front.
+fn replay_slot_log<P: RunPack>(planes: &mut P, log: &[u32], compiled: &CompiledTrace) {
+    let outcomes = compiled.outcomes();
+    let mut i = 0;
+    while i < log.len() {
+        let v = log[i];
+        let mut j = i + 1;
+        while j < log.len() && log[j] == v {
+            j += 1;
+        }
+        let slot = (v & 0xffff) as usize;
+        if v >> 16 != 0 {
+            debug_assert_eq!(j - i, 1, "a filled way is valid on its next probe");
+            planes.fill_slot(slot);
+        }
+        let mut k = i;
+        while k < j {
+            let taken = outcomes.get(k);
+            let run = outcomes.run_len(k, j);
+            planes.apply_run(slot, taken, run as u64);
+            k += run;
+        }
+        i = j;
+    }
+}
+
 /// Simulates every lane over `trace` in a single walk.
 ///
 /// Each conditional branch runs the predict → score → update cycle for
@@ -337,24 +476,83 @@ pub fn gang_simulate_compiled(
     // the whole group ([`tlat_core::AnyHrt::slot_entry`]). A geometry
     // probed by a single lane keeps the plain site path — sharing
     // saves nothing there.
-    // Lee & Smith lanes sharing an exact table geometry (any
-    // organization) peel off into bitsliced packs; `packed_quota`
-    // decides how many of each geometry's LS lanes pack. Whether a
-    // scalar per-event consumer remains (an AT/ST lane, or an
-    // unpacked LS lane) decides how associative packs probe: beside
-    // scalar consumers they share the per-event engine, alone they
-    // replay the stream privately in (site, outcome) runs.
+    // Lee & Smith lanes sharing an exact table geometry, and packable
+    // Two-Level lanes, peel off into bitsliced packs. For LS a
+    // geometry's lane count alone decides (`packed_quota`); for AT the
+    // criterion is finer, so it is decided per lane up front
+    // (`at_packed`): an `AtPack`'s row-plane arithmetic is amortized
+    // across the lanes that share a history *mask*, not just an HRT
+    // organization — lanes at the same history length read and write
+    // the same masked row, while every distinct length adds its own
+    // row visit per event. On a churny stream a mask-singleton
+    // therefore touches sixteen bytes of plane per pattern where the
+    // scalar fused cycle touches one, with nothing to amortize it
+    // over: such lanes stay scalar, and the LS strand rule applies to
+    // the eligible remainder. On a loop-heavy stream every packable
+    // lane packs, mask-singletons included: the pack leaves the
+    // per-event loop and `apply_run` collapses a same-outcome run to
+    // at most `history_bits + 3` plane steps where scalar lanes pay
+    // every event — this is what lets Figure 10's lone AT lane ride a
+    // pack. The shape signal is the same memoized same-site run count
+    // that decides log replay ([`LOG_REPLAY_MIN_RUN`]). Whether a
+    // scalar per-event consumer remains (an ST lane, an unpackable or
+    // unpacked AT lane, or an unpacked LS lane) decides how
+    // associative packs probe: beside scalar consumers they share the
+    // per-event engine, alone they replay the stream privately in
+    // (site, outcome) runs.
+    let loop_heavy = compiled.len() >= LOG_REPLAY_MIN_RUN * compiled.site_run_count();
     let mut ls_geometry: HashMap<HrtConfig, usize> = HashMap::new();
-    for lane in lanes.iter() {
-        if let GangLane::LeeSmith(p) = lane {
-            *ls_geometry.entry(p.config().hrt).or_insert(0) += 1;
-        }
-    }
-    let mut ls_scan: HashMap<HrtConfig, usize> = HashMap::new();
-    let mut scalar_consumers = false;
+    let mut at_masks: HashMap<(HrtConfig, u8), usize> = HashMap::new();
     for lane in lanes.iter() {
         match lane {
-            GangLane::TwoLevel(_) | GangLane::StaticTraining(_) => scalar_consumers = true,
+            GangLane::LeeSmith(p) => {
+                *ls_geometry.entry(p.config().hrt).or_insert(0) += 1;
+            }
+            GangLane::TwoLevel(p) => {
+                if let Some(spec) = p.config().pack_lane() {
+                    *at_masks.entry((p.config().hrt, spec.history_bits)).or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut at_eligible: HashMap<HrtConfig, usize> = HashMap::new();
+    for (&(cfg, _), &n) in at_masks.iter() {
+        if loop_heavy || n >= 2 {
+            *at_eligible.entry(cfg).or_insert(0) += n;
+        }
+    }
+    let mut at_seen: HashMap<HrtConfig, usize> = HashMap::new();
+    let at_packed: Vec<bool> = lanes
+        .iter()
+        .map(|lane| {
+            let GangLane::TwoLevel(p) = lane else { return false };
+            let Some(spec) = p.config().pack_lane() else { return false };
+            let cfg = p.config().hrt;
+            if !loop_heavy && at_masks[&(cfg, spec.history_bits)] < 2 {
+                return false;
+            }
+            let quota = if loop_heavy {
+                at_eligible[&cfg]
+            } else {
+                packed_quota(at_eligible[&cfg])
+            };
+            let seen = at_seen.entry(cfg).or_insert(0);
+            let packed = *seen < quota;
+            *seen += 1;
+            packed
+        })
+        .collect();
+    let mut ls_scan: HashMap<HrtConfig, usize> = HashMap::new();
+    let mut scalar_consumers = false;
+    for (i, lane) in lanes.iter().enumerate() {
+        match lane {
+            GangLane::StaticTraining(_) => scalar_consumers = true,
+            GangLane::TwoLevel(_) => {
+                if !at_packed[i] {
+                    scalar_consumers = true;
+                }
+            }
             GangLane::LeeSmith(p) => {
                 let cfg = p.config().hrt;
                 let seen = ls_scan.entry(cfg).or_insert(0);
@@ -403,15 +601,26 @@ pub fn gang_simulate_compiled(
     let mut pack_groups: HashMap<HrtConfig, Vec<(&mut LeeSmithBtb, &mut PredictionStats)>> =
         HashMap::new();
     let mut ls_taken: HashMap<HrtConfig, usize> = HashMap::new();
-    for (lane, stat) in lanes.iter_mut().zip(stats.iter_mut()) {
+    let mut at_pack_groups: HashMap<
+        HrtConfig,
+        Vec<(&mut TwoLevelAdaptive, &mut PredictionStats)>,
+    > = HashMap::new();
+    for (i, (lane, stat)) in lanes.iter_mut().zip(stats.iter_mut()).enumerate() {
         match lane {
-            GangLane::TwoLevel(p) => match engine_for(Some(p.config().hrt), &mut resolver) {
-                Some(ei) => at_slots.push((ei, p, stat)),
-                None => {
-                    p.bind_sites(&mut resolver);
-                    at_lanes.push((p, stat));
+            GangLane::TwoLevel(p) => {
+                let cfg = p.config().hrt;
+                if at_packed[i] {
+                    at_pack_groups.entry(cfg).or_default().push((p, stat));
+                } else {
+                    match engine_for(Some(cfg), &mut resolver) {
+                        Some(ei) => at_slots.push((ei, p, stat)),
+                        None => {
+                            p.bind_sites(&mut resolver);
+                            at_lanes.push((p, stat));
+                        }
+                    }
                 }
-            },
+            }
             GangLane::LeeSmith(p) => {
                 let cfg = p.config().hrt;
                 let seen = ls_taken.entry(cfg).or_insert(0);
@@ -443,11 +652,48 @@ pub fn gang_simulate_compiled(
             GangLane::Dyn(p) => dyn_lanes.push((p, stat)),
         }
     }
-    // Assemble the bitsliced packs: chunk each geometry's packed LS
-    // lanes by PACK_WIDTH (packed_quota guarantees no one-lane chunk)
-    // and give each pack its organization's slot driver. Hashed and
-    // associative planes are sized to the table; ideal planes grow a
-    // slot per fresh site, like the table they mirror.
+    // Assemble the bitsliced packs: chunk each geometry's packed
+    // lanes by PACK_WIDTH (packed_quota guarantees no one-lane LS
+    // chunk; AT chunks may be singletons) and give each pack its
+    // organization's slot driver. Hashed and associative planes are
+    // sized to the table; ideal planes grow a slot per fresh site,
+    // like the table they mirror. Both pack flavors share the driver
+    // construction.
+    let mut pack_driver = |cfg: HrtConfig, resolver: &mut SiteResolver| -> (usize, PackProbe) {
+        match cfg {
+            HrtConfig::Ideal => (
+                0,
+                PackProbe::Ideal {
+                    next_site: 0,
+                    stats: HrtStats::default(),
+                },
+            ),
+            HrtConfig::Associative { entries, .. } => (
+                entries,
+                // A singleton AT pack alone on its geometry gets no
+                // shared engine (nothing in the per-event loop probes
+                // the geometry), so it replays privately even when
+                // scalar consumers exist elsewhere in the gang.
+                match if scalar_consumers {
+                    engine_for(Some(cfg), resolver)
+                } else {
+                    None
+                } {
+                    Some(ei) => PackProbe::Shared(ei),
+                    None => PackProbe::Private(
+                        SlotProbe::build(cfg, resolver).expect("geometry is associative"),
+                    ),
+                },
+            ),
+            HrtConfig::Hashed { entries } => (
+                entries,
+                PackProbe::Hashed {
+                    keys: resolver.keys(cfg),
+                    stats: HrtStats::default(),
+                },
+            ),
+        }
+    };
     let mut packs: Vec<LsPack> = Vec::new();
     for (cfg, mut group) in pack_groups {
         while !group.is_empty() {
@@ -456,35 +702,7 @@ pub fn gang_simulate_compiled(
             debug_assert!(chunk.len() >= 2, "packed_quota strands no singletons");
             let kinds: Vec<AutomatonKind> =
                 chunk.iter().map(|(p, _)| p.config().automaton).collect();
-            let (slots, probe) = match cfg {
-                HrtConfig::Ideal => (
-                    0,
-                    PackProbe::Ideal {
-                        next_site: 0,
-                        stats: HrtStats::default(),
-                    },
-                ),
-                HrtConfig::Associative { entries, .. } => (
-                    entries,
-                    if scalar_consumers {
-                        PackProbe::Shared(
-                            engine_for(Some(cfg), &mut resolver)
-                                .expect("a pack's >= 2 lanes make its geometry shared"),
-                        )
-                    } else {
-                        PackProbe::Private(
-                            SlotProbe::build(cfg, &mut resolver).expect("geometry is associative"),
-                        )
-                    },
-                ),
-                HrtConfig::Hashed { entries } => (
-                    entries,
-                    PackProbe::Hashed {
-                        keys: resolver.keys(cfg),
-                        stats: HrtStats::default(),
-                    },
-                ),
-            };
+            let (slots, probe) = pack_driver(cfg, &mut resolver);
             packs.push(LsPack {
                 planes: LanePack::new(&kinds, slots),
                 probe,
@@ -492,6 +710,30 @@ pub fn gang_simulate_compiled(
             });
         }
     }
+    let mut at_packs: Vec<AtGangPack> = Vec::new();
+    for (cfg, mut group) in at_pack_groups {
+        while !group.is_empty() {
+            let take = group.len().min(PACK_WIDTH);
+            let chunk: Vec<_> = group.drain(..take).collect();
+            let specs: Vec<AtLaneConfig> = chunk
+                .iter()
+                .map(|(p, _)| p.config().pack_lane().expect("only packable lanes group"))
+                .collect();
+            let (slots, probe) = pack_driver(cfg, &mut resolver);
+            at_packs.push(AtGangPack {
+                planes: AtPack::new(&specs, slots),
+                probe,
+                lanes: chunk,
+            });
+        }
+    }
+    metrics::add(Counter::LsPacksFormed, packs.len() as u64);
+    metrics::add(Counter::AtPacksFormed, at_packs.len() as u64);
+    metrics::add(
+        Counter::LanesPacked,
+        (packs.iter().map(|p| p.lanes.len()).sum::<usize>()
+            + at_packs.iter().map(|p| p.lanes.len()).sum::<usize>()) as u64,
+    );
     // Event-major order: the `(site, taken)` decode and the per-
     // geometry probes are paid once per event and amortized over every
     // lane (the tables of a paper-sized sweep are small enough to stay
@@ -516,15 +758,24 @@ pub fn gang_simulate_compiled(
             _ => None,
         })
         .collect();
-    let log_replay = compiled.len() >= LOG_REPLAY_MIN_RUN * compiled.site_run_count();
-    let stepped_packs: Vec<(usize, usize)> = if log_replay {
-        Vec::new()
-    } else {
-        shared_packs.clone()
-    };
+    let shared_at_packs: Vec<(usize, usize)> = at_packs
+        .iter()
+        .enumerate()
+        .filter_map(|(pi, pack)| match pack.probe {
+            PackProbe::Shared(ei) => Some((pi, ei)),
+            _ => None,
+        })
+        .collect();
+    let log_replay = loop_heavy;
+    let (stepped_packs, stepped_at_packs): (Vec<(usize, usize)>, Vec<(usize, usize)>) =
+        if log_replay {
+            (Vec::new(), Vec::new())
+        } else {
+            (shared_packs.clone(), shared_at_packs.clone())
+        };
     let mut slot_logs: Vec<(usize, Vec<u32>)> = Vec::new();
     if log_replay {
-        for &(_, ei) in &shared_packs {
+        for &(_, ei) in shared_packs.iter().chain(&shared_at_packs) {
             if !slot_logs.iter().any(|(e, _)| *e == ei) {
                 slot_logs.push((ei, Vec::with_capacity(compiled.cond_sites().len())));
             }
@@ -571,6 +822,14 @@ pub fn gang_simulate_compiled(
                 }
                 pack.planes.step(probe.slot as usize, taken);
             }
+            for &(pi, ei) in &stepped_at_packs {
+                let probe = probes[ei];
+                let pack = &mut at_packs[pi];
+                if probe.outcome == ProbeOutcome::Filled {
+                    pack.planes.fill_slot(probe.slot as usize);
+                }
+                pack.planes.step(probe.slot as usize, taken);
+            }
             // Loop-heavy stream: log the probe instead, for the
             // run-chunked replay below — slot in the low half, fill
             // flag above it.
@@ -584,92 +843,35 @@ pub fn gang_simulate_compiled(
         }
     }
     // Every other pack replays the stream in (site, outcome) runs,
-    // off to the side of the per-event loop. A run of r accesses to
-    // one site costs one real probe plus O(1) fast-forward
-    // bookkeeping, and within it each same-outcome run beyond three
-    // plane steps is a single shared correct-count — every automaton
-    // sits at its fixed point by then (asserted when the transition
-    // tables are derived).
-    let sites = compiled.cond_sites();
-    let outcomes = compiled.outcomes();
+    // off to the side of the per-event loop ([`replay_site_runs`]).
     for pack in &mut packs {
         if matches!(pack.probe, PackProbe::Shared(_)) {
             continue;
         }
-        let mut i = 0;
-        while i < sites.len() {
-            let site = sites[i];
-            let mut j = i + 1;
-            while j < sites.len() && sites[j] == site {
-                j += 1;
-            }
-            let slot = match &mut pack.probe {
-                PackProbe::Private(engine) => {
-                    let probe = engine.step_run(site, (j - i) as u64);
-                    if probe.outcome == ProbeOutcome::Filled {
-                        pack.planes.fill_slot(probe.slot as usize);
-                    }
-                    probe.slot as usize
-                }
-                PackProbe::Ideal { next_site, stats } => {
-                    stats.accesses += (j - i) as u64;
-                    if site == *next_site {
-                        stats.misses += 1;
-                        *next_site += 1;
-                        pack.planes.push_slot();
-                    }
-                    site as usize
-                }
-                PackProbe::Hashed { keys, stats } => {
-                    stats.accesses += (j - i) as u64;
-                    let SiteKeys::Hashed { slot } = &**keys else {
-                        unreachable!("hashed packs resolve hashed keys")
-                    };
-                    slot[site as usize] as usize
-                }
-                PackProbe::Shared(_) => unreachable!("shared packs replay their slot log"),
-            };
-            let mut k = i;
-            while k < j {
-                let taken = outcomes.get(k);
-                let run = outcomes.run_len(k, j);
-                pack.planes.apply_run(slot, taken, run as u64);
-                k += run;
-            }
-            i = j;
+        replay_site_runs(&mut pack.planes, &mut pack.probe, compiled);
+    }
+    for pack in &mut at_packs {
+        if matches!(pack.probe, PackProbe::Shared(_)) {
+            continue;
         }
+        replay_site_runs(&mut pack.planes, &mut pack.probe, compiled);
     }
     // On a loop-heavy stream, shared packs replay their engine's slot
-    // log the same way, with the probing already paid: equal log
-    // words group into runs — a filled way is valid by its next
-    // probe, so a fill flag can't repeat within one — and the fill
-    // applies once, up front.
-    for &(pi, ei) in if log_replay { &shared_packs[..] } else { &[] } {
-        let (_, log) = slot_logs
-            .iter()
-            .find(|(e, _)| *e == ei)
-            .expect("every shared pack's engine is logged");
-        let pack = &mut packs[pi];
-        let mut i = 0;
-        while i < log.len() {
-            let v = log[i];
-            let mut j = i + 1;
-            while j < log.len() && log[j] == v {
-                j += 1;
-            }
-            let slot = (v & 0xffff) as usize;
-            if v >> 16 != 0 {
-                debug_assert_eq!(j - i, 1, "a filled way is valid on its next probe");
-                pack.planes.fill_slot(slot);
-            }
-            let mut k = i;
-            while k < j {
-                let taken = outcomes.get(k);
-                let run = outcomes.run_len(k, j);
-                pack.planes.apply_run(slot, taken, run as u64);
-                k += run;
-            }
-            i = j;
+    // log the same way, with the probing already paid
+    // ([`replay_slot_log`]).
+    if log_replay {
+        let logged = |ei: usize| -> &[u32] {
+            &slot_logs
+                .iter()
+                .find(|(e, _)| *e == ei)
+                .expect("every shared pack's engine is logged")
+                .1
+        };
+        for &(pi, ei) in &shared_packs {
+            replay_slot_log(&mut packs[pi].planes, logged(ei), compiled);
+        }
+        for &(pi, ei) in &shared_at_packs {
+            replay_slot_log(&mut at_packs[pi].planes, logged(ei), compiled);
         }
     }
     // Prediction and table state evolved exactly as the scalar walk's:
@@ -677,6 +879,20 @@ pub fn gang_simulate_compiled(
     // for the walk, as on the slot path) and only predicted/correct
     // and the adopted HrtStats are observable — fold them back now.
     for pack in &mut packs {
+        let predicted = pack.planes.predicted();
+        let correct = pack.planes.correct_counts();
+        let probe_stats = match &pack.probe {
+            PackProbe::Shared(ei) => engines[*ei].stats(),
+            PackProbe::Private(engine) => engine.stats(),
+            PackProbe::Ideal { stats, .. } | PackProbe::Hashed { stats, .. } => *stats,
+        };
+        for (lane, (p, stat)) in pack.lanes.iter_mut().enumerate() {
+            stat.predicted += predicted;
+            stat.correct += correct[lane];
+            p.adopt_probe_stats(probe_stats);
+        }
+    }
+    for pack in &mut at_packs {
         let predicted = pack.planes.predicted();
         let correct = pack.planes.correct_counts();
         let probe_stats = match &pack.probe {
@@ -1167,8 +1383,10 @@ mod tests {
         // Packs form wherever ≥2 LS lanes share an exact geometry:
         // five automata on the paper AHRT, pairs on ideal / hashed /
         // a small eviction-heavy associative table, plus a singleton
-        // LS straggler and an AT lane that must be untouched by the
-        // packing — all bit-identical to the raw-record reference.
+        // LS straggler and a lone AT lane — both scalar on this
+        // churny stream (an AT lane with no mask-group partner packs
+        // only on loop-heavy streams) — all bit-identical to the
+        // raw-record reference.
         let trace = SyntheticStream::mixed(0xb175, 80).generate(6_000);
         let options = SimOptions { ras_entries: 8 };
         let configs = vec![
@@ -1380,6 +1598,239 @@ mod tests {
         for (i, (c, r)) in compiled.iter().zip(&records).enumerate() {
             assert_eq!(c.conditional, r.conditional, "lane {i}");
         }
+    }
+
+    /// An AT configuration with the ablation flags spelled out, for
+    /// exercising pack-lane mixes the `at` convenience hides.
+    fn at_full(
+        hrt: HrtConfig,
+        history_bits: u8,
+        automaton: AutomatonKind,
+        cached: bool,
+        reinit: bool,
+        init_nt: bool,
+    ) -> SchemeConfig {
+        SchemeConfig::TwoLevel(tlat_core::TwoLevelConfig {
+            history_bits,
+            automaton,
+            hrt,
+            cached_prediction: cached,
+            reinit_on_replace: reinit,
+            init_not_taken: init_nt,
+        })
+    }
+
+    /// Pins the adopted HRT statistics of every Two-Level lane against
+    /// the record walk's per-lane probing.
+    fn assert_at_stats_match(compiled: &[GangLane], records: &[GangLane]) {
+        for (c, r) in compiled.iter().zip(records) {
+            if let (GangLane::TwoLevel(a), GangLane::TwoLevel(b)) = (c, r) {
+                assert_eq!(a.hrt_stats(), b.hrt_stats(), "{}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_at_packs_match_the_record_walk_across_organizations() {
+        // AT packs form wherever ≥2 packable Two-Level lanes share a
+        // history mask on one HRT organization (on a churny stream a
+        // mask-singleton has nothing to amortize its row planes over,
+        // so it stays scalar). The paper-AHRT pack mixes automaton
+        // variants, two history lengths (masked rows of the shared
+        // register), §3.2 caching vs pure two-lookup, and init
+        // polarity; ideal / hashed / eviction-heavy associative
+        // same-mask pairs pack too. A reinit-on-replace lane is
+        // unpackable and must take the scalar path (becoming the
+        // gang's scalar consumer), a k=8 lane on the packing AHRT and
+        // an ahrt(256) lane are mask-singletons pinned scalar by the
+        // churny gate, and an LS pack rides alongside — all
+        // bit-identical to the raw-record reference.
+        let trace = SyntheticStream::mixed(0xa7b1, 80).generate(6_000);
+        let options = SimOptions { ras_entries: 8 };
+        let small = HrtConfig::Associative {
+            entries: 16,
+            ways: 2,
+        };
+        let configs = vec![
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A3),
+            SchemeConfig::at(HrtConfig::ahrt(512), 8, AutomatonKind::A3), // mask-singleton
+            SchemeConfig::at(HrtConfig::ahrt(512), 6, AutomatonKind::LastTime),
+            at_full(HrtConfig::ahrt(512), 6, AutomatonKind::A4, false, false, false),
+            at_full(HrtConfig::ahrt(512), 6, AutomatonKind::A1, true, false, true),
+            SchemeConfig::at(HrtConfig::Ideal, 10, AutomatonKind::A2),
+            SchemeConfig::at(HrtConfig::Ideal, 10, AutomatonKind::A3),
+            SchemeConfig::at(HrtConfig::hhrt(64), 8, AutomatonKind::A2),
+            SchemeConfig::at(HrtConfig::hhrt(64), 8, AutomatonKind::A4),
+            SchemeConfig::at(small, 8, AutomatonKind::A2),
+            SchemeConfig::at(small, 8, AutomatonKind::A3),
+            at_full(HrtConfig::ahrt(512), 12, AutomatonKind::A2, true, true, false),
+            SchemeConfig::at(HrtConfig::ahrt(256), 12, AutomatonKind::A2), // mask-singleton
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::A2),
+            SchemeConfig::ls(HrtConfig::ahrt(512), AutomatonKind::LastTime),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        // Random site visits: shared packs must take the in-loop
+        // stepping strategy here (the reinit lane is the scalar
+        // consumer keeping the event loop alive).
+        let compiled_stream = CompiledTrace::compile(&trace);
+        assert!(
+            compiled_stream.len() < LOG_REPLAY_MIN_RUN * compiled_stream.site_run_count(),
+            "trace drifted loop-heavy; this test pins the stepped-pack path"
+        );
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+        assert_at_stats_match(&compiled_lanes, &record_lanes);
+    }
+
+    #[test]
+    fn at_packs_replay_ahrt_evictions_from_the_slot_log_byte_for_byte() {
+        // The eviction-interplay pin: a tiny 2-way AHRT under a
+        // loop-heavy stream churns through fills, hits, and
+        // replacements, and the AT pack never sees tags — only the
+        // shared engine's slot decisions via the log. A replaced slot
+        // must inherit the victim's plane state (non-reinit lanes
+        // inherit the victim's entry in the scalar walk) and a filled
+        // slot must re-read its cached plane from the *evolved*
+        // pattern tables, or predictions drift. The ST lane keeps a
+        // scalar consumer in the gang, so the packs ride the shared
+        // engine and — on this stream shape — the log-replay path.
+        // The stream is loop-heavy, so AT singletons pack too: the
+        // lone ahrt(256) lane is alone on its geometry and must fall
+        // back to a private probe (no engine to share despite the
+        // scalar consumer), and the lone ideal and hashed singletons
+        // take their flavor's run replay.
+        let trace = loop_heavy_trace(6_000);
+        let compiled_stream = CompiledTrace::compile(&trace);
+        assert!(
+            compiled_stream.len() >= LOG_REPLAY_MIN_RUN * compiled_stream.site_run_count(),
+            "trace must be loop-heavy enough to trip the log-replay gate (mean run {:.2})",
+            compiled_stream.len() as f64 / compiled_stream.site_run_count() as f64
+        );
+        let options = SimOptions { ras_entries: 8 };
+        let small = HrtConfig::Associative {
+            entries: 16,
+            ways: 2,
+        };
+        let configs = vec![
+            SchemeConfig::st(HrtConfig::Ideal, 12, TrainingData::Same),
+            SchemeConfig::at(small, 8, AutomatonKind::A2),
+            SchemeConfig::at(small, 6, AutomatonKind::A3),
+            at_full(small, 4, AutomatonKind::LastTime, false, false, false),
+            SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+            SchemeConfig::at(HrtConfig::ahrt(512), 10, AutomatonKind::A4),
+            SchemeConfig::at(HrtConfig::ahrt(256), 10, AutomatonKind::A3), // lone: private probe
+            SchemeConfig::at(HrtConfig::Ideal, 9, AutomatonKind::A2),      // lone: ideal replay
+            SchemeConfig::at(HrtConfig::hhrt(32), 7, AutomatonKind::A4),   // lone: hashed replay
+            SchemeConfig::ls(small, AutomatonKind::A2),
+            SchemeConfig::ls(small, AutomatonKind::A4),
+        ];
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+        let records = gang_simulate_records(&mut record_lanes, &trace, options);
+        for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+            assert_eq!(c.conditional, r.conditional, "{}", config.label());
+            assert_eq!(c.ras, r.ras, "{}", config.label());
+        }
+        assert_at_stats_match(&compiled_lanes, &record_lanes);
+    }
+
+    #[test]
+    fn pack_only_at_gangs_take_the_chunked_run_walk() {
+        // Every conditional consumer packs: no scalar lane remains, so
+        // the per-event loop never runs and the associative AT packs
+        // own private probe engines, replaying the stream in (site,
+        // outcome) runs — including evictions on the tiny 2-way table.
+        // Run on both stream shapes, since the private path chunks
+        // same-site runs either way; each geometry's pair shares a
+        // history mask so the churny gate packs them too.
+        for trace in [
+            SyntheticStream::mixed(0x9ac7, 64).generate(6_000),
+            loop_heavy_trace(6_000),
+        ] {
+            let options = SimOptions { ras_entries: 8 };
+            let small = HrtConfig::Associative {
+                entries: 16,
+                ways: 2,
+            };
+            let configs = vec![
+                SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A2),
+                SchemeConfig::at(HrtConfig::ahrt(512), 12, AutomatonKind::A3),
+                SchemeConfig::at(small, 8, AutomatonKind::A2),
+                SchemeConfig::at(small, 8, AutomatonKind::LastTime),
+                SchemeConfig::at(HrtConfig::Ideal, 9, AutomatonKind::A2),
+                SchemeConfig::at(HrtConfig::Ideal, 9, AutomatonKind::A4),
+                SchemeConfig::at(HrtConfig::hhrt(32), 7, AutomatonKind::A2),
+                SchemeConfig::at(HrtConfig::hhrt(32), 7, AutomatonKind::A1),
+            ];
+            let mut compiled_lanes: Vec<GangLane> = configs
+                .iter()
+                .map(|c| GangLane::from_config(c, Some(&trace)))
+                .collect();
+            let mut record_lanes: Vec<GangLane> = configs
+                .iter()
+                .map(|c| GangLane::from_config(c, Some(&trace)))
+                .collect();
+            let compiled = gang_simulate_with(&mut compiled_lanes, &trace, options);
+            let records = gang_simulate_records(&mut record_lanes, &trace, options);
+            for ((config, c), r) in configs.iter().zip(&compiled).zip(&records) {
+                assert_eq!(c.conditional, r.conditional, "{}", config.label());
+                assert_eq!(c.ras, r.ras, "{}", config.label());
+            }
+            assert_at_stats_match(&compiled_lanes, &record_lanes);
+        }
+    }
+
+    #[test]
+    fn at_packs_wider_than_a_word_chunk_and_strand_the_straggler() {
+        // 65 same-organization AT lanes on a churny stream, a variant
+        // × history-length grid whose every history mask holds ≥ 2
+        // lanes: all 65 are pack-eligible, so the LS strand rule
+        // applies — one full 64-lane pack plus one scalar straggler
+        // (a one-lane final chunk would be pure overhead here).
+        let trace = SyntheticStream::mixed(0xa65, 24).generate(2_000);
+        let kinds = AutomatonKind::ALL;
+        let configs: Vec<SchemeConfig> = (0..65)
+            .map(|i| {
+                SchemeConfig::at(
+                    HrtConfig::ahrt(512),
+                    4 + (i % 9) as u8,
+                    kinds[i % kinds.len()],
+                )
+            })
+            .collect();
+        let mut compiled_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let mut record_lanes: Vec<GangLane> = configs
+            .iter()
+            .map(|c| GangLane::from_config(c, Some(&trace)))
+            .collect();
+        let compiled = gang_simulate_with(&mut compiled_lanes, &trace, SimOptions::default());
+        let records = gang_simulate_records(&mut record_lanes, &trace, SimOptions::default());
+        for (i, (c, r)) in compiled.iter().zip(&records).enumerate() {
+            assert_eq!(c.conditional, r.conditional, "lane {i}");
+        }
+        assert_at_stats_match(&compiled_lanes, &record_lanes);
     }
 
     #[test]

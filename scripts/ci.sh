@@ -37,6 +37,10 @@ cargo bench -q --offline -p tlat-bench --bench sweep -- --test \
     echo "error: sweep bench emitted no BENCHJSON lines" >&2
     exit 1
 }
+grep -q '"bench":"sweep/fig5_gang_pool"' BENCH_sweep.json || {
+    echo "error: sweep bench emitted no fig5 AT-pack measurement" >&2
+    exit 1
+}
 
 # Serve load-generator smoke: the ROADMAP's "heavy traffic" number.
 # Smoke mode drives 4 concurrent clients over real TCP against an
@@ -59,7 +63,7 @@ grep -q '"bench":"serve/warm_sweep"' BENCH_serve.json || {
 # live pipe exits at first match and the bench would die on SIGPIPE
 # printing its remaining lines.
 gang_inner_out=$(cargo bench -q --offline -p tlat-bench --bench gang_inner -- --test)
-for line in inner_compiled_walk inner_bitsliced_walk; do
+for line in inner_compiled_walk inner_bitsliced_walk inner_at_pack_walk; do
     grep -q "^BENCHJSON .*$line" <<<"$gang_inner_out" || {
         echo "error: gang_inner bench emitted no $line BENCHJSON line" >&2
         exit 1
